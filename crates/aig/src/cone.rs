@@ -1,0 +1,322 @@
+//! Transitive fanin/fanout cones, fanout maps, and MFFC computation.
+
+use crate::{Aig, Lit, Node, NodeId};
+
+/// A set of nodes forming a cone, stored as a sorted list of node ids plus a
+/// membership bitmap for O(1) queries.
+///
+/// Produced by [`Aig::tfi_cone`] and [`Aig::tfo_cone`].
+#[derive(Clone, Debug)]
+pub struct Cone {
+    members: Vec<NodeId>,
+    bitmap: Vec<bool>,
+}
+
+impl Cone {
+    fn from_bitmap(bitmap: Vec<bool>) -> Cone {
+        let members = bitmap
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| NodeId::new(i))
+            .collect();
+        Cone { members, bitmap }
+    }
+
+    /// Nodes in the cone in ascending (= topological) order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Returns `true` if `id` belongs to the cone.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.bitmap.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes in the cone.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cone is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Fanout information for every node of an [`Aig`].
+///
+/// The AIG itself only stores fanins; algorithms that walk "downstream"
+/// (observability, TFO re-simulation, MFFC) build this map once per graph
+/// snapshot via [`Aig::fanout_map`].
+#[derive(Clone, Debug)]
+pub struct FanoutMap {
+    /// `fanouts[n]` lists the AND nodes that reference node `n` as a fanin.
+    fanouts: Vec<Vec<NodeId>>,
+    /// Number of references to each node, counting primary outputs.
+    ref_counts: Vec<u32>,
+}
+
+impl FanoutMap {
+    /// Returns the fanout nodes of `id` (AND nodes only; primary-output
+    /// references are reflected in [`FanoutMap::ref_count`] instead).
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Returns the total reference count of `id` (fanin references plus
+    /// primary-output references).
+    pub fn ref_count(&self, id: NodeId) -> u32 {
+        self.ref_counts[id.index()]
+    }
+
+    /// Returns `true` if the node drives nothing (no fanouts, no outputs).
+    pub fn is_dangling(&self, id: NodeId) -> bool {
+        self.ref_counts[id.index()] == 0
+    }
+}
+
+impl Aig {
+    /// Builds the fanout map for the current graph.
+    pub fn fanout_map(&self) -> FanoutMap {
+        let n = self.num_nodes();
+        let mut fanouts = vec![Vec::new(); n];
+        let mut ref_counts = vec![0u32; n];
+        for id in self.iter_nodes() {
+            if let Node::And { f0, f1 } = *self.node(id) {
+                fanouts[f0.node().index()].push(id);
+                ref_counts[f0.node().index()] += 1;
+                if f1.node() != f0.node() {
+                    fanouts[f1.node().index()].push(id);
+                }
+                ref_counts[f1.node().index()] += 1;
+            }
+        }
+        for output in self.outputs() {
+            ref_counts[output.lit.node().index()] += 1;
+        }
+        FanoutMap {
+            fanouts,
+            ref_counts,
+        }
+    }
+
+    /// Computes the transitive-fanin cone of `root`, **including** `root`
+    /// itself (the paper's §II-A definition).
+    pub fn tfi_cone(&self, root: NodeId) -> Cone {
+        let mut bitmap = vec![false; self.num_nodes()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut bitmap[id.index()], true) {
+                continue;
+            }
+            if let Node::And { f0, f1 } = *self.node(id) {
+                stack.push(f0.node());
+                stack.push(f1.node());
+            }
+        }
+        Cone::from_bitmap(bitmap)
+    }
+
+    /// Computes the transitive-fanout cone of `root`, **including** `root`.
+    ///
+    /// Requires a prebuilt [`FanoutMap`] for the current graph snapshot.
+    pub fn tfo_cone(&self, root: NodeId, fanouts: &FanoutMap) -> Cone {
+        let mut bitmap = vec![false; self.num_nodes()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut bitmap[id.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(fanouts.fanouts(id));
+        }
+        Cone::from_bitmap(bitmap)
+    }
+
+    /// Computes the maximum fanout-free cone (MFFC) of `root`: the set of AND
+    /// nodes that would become dangling if `root` were removed.
+    ///
+    /// The returned list contains `root` first (if it is an AND node) and is
+    /// the conventional measure of how many nodes a resubstitution of `root`
+    /// can save.
+    pub fn mffc(&self, root: NodeId, fanouts: &FanoutMap) -> Vec<NodeId> {
+        if !self.node(root).is_and() {
+            return Vec::new();
+        }
+        // Simulate dereferencing root: counts of nodes whose refs all come
+        // from inside the dereferenced cone drop to zero.
+        let mut counts: Vec<u32> = (0..self.num_nodes())
+            .map(|i| fanouts.ref_count(NodeId::new(i)))
+            .collect();
+        let mut mffc = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            mffc.push(id);
+            if let Node::And { f0, f1 } = *self.node(id) {
+                for fanin in [f0.node(), f1.node()] {
+                    let c = &mut counts[fanin.index()];
+                    debug_assert!(*c > 0, "fanin reference count underflow");
+                    *c -= 1;
+                    if *c == 0 && self.node(fanin).is_and() {
+                        stack.push(fanin);
+                    }
+                }
+            }
+        }
+        mffc
+    }
+
+    /// Collects the leaves (non-complemented node references) of the cone of
+    /// `root` bounded by the cut `leaves`: all paths from `root` towards the
+    /// inputs stop at nodes in `leaves`. Returns the interior AND nodes in
+    /// topological order.
+    ///
+    /// Returns `None` if the cone escapes past an input or the constant that
+    /// is not listed as a leaf (i.e. `leaves` is not a valid cut of `root`).
+    pub fn cone_interior(&self, root: NodeId, leaves: &[NodeId]) -> Option<Vec<NodeId>> {
+        let mut is_leaf = vec![false; self.num_nodes()];
+        for &l in leaves {
+            is_leaf[l.index()] = true;
+        }
+        let mut seen = vec![false; self.num_nodes()];
+        let mut interior = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if is_leaf[id.index()] || std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            match *self.node(id) {
+                Node::And { f0, f1 } => {
+                    interior.push(id);
+                    stack.push(f0.node());
+                    stack.push(f1.node());
+                }
+                // Hit an input or the constant that is not a leaf: not a cut.
+                _ => return None,
+            }
+        }
+        interior.sort_unstable();
+        Some(interior)
+    }
+
+    /// Returns the literal-level fanins of an AND node as an array, panicking
+    /// on non-AND nodes. Convenience for cone walkers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an AND node.
+    pub fn and_fanins(&self, id: NodeId) -> [Lit; 2] {
+        match *self.node(id) {
+            Node::And { f0, f1 } => [f0, f1],
+            ref other => panic!("{id} is not an AND node: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = (a & b) | (b & c); extra dangling node d = a & c.
+    fn sample() -> (Aig, Lit, Lit, Lit, Lit, Lit, Lit) {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let bc = aig.and(b, c);
+        let y = aig.or(ab, bc);
+        let dangling = aig.and(a, c);
+        aig.add_output("y", y);
+        (aig, a, b, c, ab, bc, dangling)
+    }
+
+    #[test]
+    fn tfi_includes_root_and_supports() {
+        let (aig, a, b, _c, ab, _bc, _d) = sample();
+        let cone = aig.tfi_cone(ab.node());
+        assert!(cone.contains(ab.node()));
+        assert!(cone.contains(a.node()));
+        assert!(cone.contains(b.node()));
+        assert_eq!(cone.len(), 3);
+    }
+
+    #[test]
+    fn tfo_reaches_outputs() {
+        let (aig, a, _b, _c, ab, _bc, d) = sample();
+        let fanouts = aig.fanout_map();
+        let tfo = aig.tfo_cone(a.node(), &fanouts);
+        assert!(tfo.contains(ab.node()));
+        assert!(tfo.contains(d.node()));
+        // The OR node (output driver) is in a's TFO.
+        let y_node = aig.outputs()[0].lit.node();
+        assert!(tfo.contains(y_node));
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let (aig, _a, _b, _c, ab, _bc, d) = sample();
+        let fanouts = aig.fanout_map();
+        assert!(fanouts.is_dangling(d.node()));
+        assert!(!fanouts.is_dangling(ab.node()));
+    }
+
+    #[test]
+    fn mffc_of_output_or_includes_single_use_cone() {
+        let (aig, _a, _b, _c, ab, bc, _d) = sample();
+        let fanouts = aig.fanout_map();
+        let y_node = aig.outputs()[0].lit.node();
+        let mffc = aig.mffc(y_node, &fanouts);
+        // OR node plus both single-use AND fanins.
+        assert_eq!(mffc.len(), 3);
+        assert!(mffc.contains(&ab.node()));
+        assert!(mffc.contains(&bc.node()));
+    }
+
+    #[test]
+    fn mffc_stops_at_shared_nodes() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let shared = aig.and(a, b);
+        let top = aig.and(shared, c);
+        aig.add_output("t", top);
+        aig.add_output("s", shared); // second reference keeps `shared` alive
+        let fanouts = aig.fanout_map();
+        let mffc = aig.mffc(top.node(), &fanouts);
+        assert_eq!(mffc, vec![top.node()]);
+    }
+
+    #[test]
+    fn mffc_of_input_is_empty() {
+        let (aig, a, ..) = sample();
+        let fanouts = aig.fanout_map();
+        assert!(aig.mffc(a.node(), &fanouts).is_empty());
+    }
+
+    #[test]
+    fn cone_interior_accepts_valid_cut() {
+        let (aig, a, b, c, ab, bc, _d) = sample();
+        let y = aig.outputs()[0].lit.node();
+        let interior = aig
+            .cone_interior(y, &[a.node(), b.node(), c.node()])
+            .expect("valid cut");
+        assert_eq!(interior, vec![ab.node(), bc.node(), y]);
+    }
+
+    #[test]
+    fn cone_interior_rejects_non_cut() {
+        let (aig, a, _b, _c, _ab, _bc, _d) = sample();
+        let y = aig.outputs()[0].lit.node();
+        // Leaving out b and c means the walk escapes to inputs not in the cut.
+        assert!(aig.cone_interior(y, &[a.node()]).is_none());
+    }
+
+    #[test]
+    fn cone_interior_root_as_leaf_is_empty() {
+        let (aig, _a, _b, _c, ab, ..) = sample();
+        let interior = aig.cone_interior(ab.node(), &[ab.node()]).expect("cut");
+        assert!(interior.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for AIG construction and rebuilding.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while validating or transforming an [`Aig`](crate::Aig).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AigError {
+    /// An operation referenced a node outside the node table.
+    NodeOutOfBounds {
+        /// The offending node.
+        node: NodeId,
+        /// Size of the node table.
+        num_nodes: usize,
+    },
+    /// An input-count mismatch between a pattern source and the graph.
+    InputArityMismatch {
+        /// Inputs the graph declares.
+        expected: usize,
+        /// Inputs that were supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds for table of {num_nodes}")
+            }
+            AigError::InputArityMismatch { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for AigError {}
+
+/// Errors produced by [`Aig::rebuilt_with_substitutions`](crate::Aig::rebuilt_with_substitutions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RebuildError {
+    /// A substitution created a combinational cycle: the replacement logic of
+    /// a node transitively depends on the node itself.
+    Cycle {
+        /// The node at which the cycle was detected.
+        node: NodeId,
+    },
+    /// A substitution target literal referenced a node outside the graph.
+    SubstitutionOutOfBounds {
+        /// The substituted node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildError::Cycle { node } => {
+                write!(f, "substitution creates a combinational cycle at {node}")
+            }
+            RebuildError::SubstitutionOutOfBounds { node } => {
+                write!(f, "substitution for {node} references an out-of-bounds literal")
+            }
+        }
+    }
+}
+
+impl Error for RebuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = AigError::InputArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert_eq!(e.to_string(), "expected 3 inputs, got 2");
+        let e = RebuildError::Cycle {
+            node: NodeId::new(4),
+        };
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AigError>();
+        assert_send_sync::<RebuildError>();
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablations of ALSRAC's design choices (not a paper table; DESIGN.md
+//! experiments ABL1/ABL2).
+//!
+//! 1. **Divisor distance** — fanin-edit divisor sets drawn from the whole
+//!    TFI cone (the paper's Algorithm 1) vs. restricted to a shallow pool
+//!    (max_sets small, emulating "too local" LACs, §I's critique).
+//! 2. **Dynamic N control** — the paper's adaptive simulation-round
+//!    shrinking (t = 5, r = 0.9) vs. a fixed N, and a sweep of the initial
+//!    N (§III-C's discussion that small N widens the approximation space).
+
+use alsrac::divisors::DivisorConfig;
+use alsrac::flow::{self, FlowConfig};
+use alsrac::lac::LacConfig;
+use alsrac_bench::{asic_cost, average_outcome, percent, print_table, Options};
+use alsrac_circuits::catalog;
+use alsrac_metrics::ErrorMetric;
+
+fn config_with(lac: LacConfig, threshold: f64, rounds: usize, patience: usize) -> FlowConfig {
+    FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold,
+        initial_rounds: rounds,
+        patience,
+        lac,
+        max_iterations: 300,
+        ..FlowConfig::default()
+    }
+}
+
+fn main() {
+    let options = Options::parse(std::env::args().skip(1));
+    let threshold = 0.03;
+    let circuits = ["cla32", "ksa32", "wal8"];
+
+    // Ablation 1: divisor pool width.
+    let mut rows = Vec::new();
+    for name in circuits {
+        let exact = catalog::by_name(name, options.scale).expect("known benchmark");
+        let wide = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+            let cfg = config_with(LacConfig::default(), threshold, 32, 5);
+            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+        }, |_| true);
+        let narrow = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+            let lac = LacConfig {
+                divisors: DivisorConfig {
+                    max_sets: 3, // barely beyond the fanin removals
+                    ..DivisorConfig::default()
+                },
+                ..LacConfig::default()
+            };
+            let cfg = config_with(lac, threshold, 32, 5);
+            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+        }, |_| true);
+        rows.push(vec![
+            name.to_string(),
+            percent(wide.area_ratio),
+            percent(narrow.area_ratio),
+        ]);
+    }
+    print_table(
+        "Ablation 1: TFI-wide divisors vs fanin-local divisors (ER = 3%, area ratio)",
+        &["Circuit", "TFI-wide", "Fanin-local"],
+        &rows,
+        &[1, 2],
+    );
+
+    // Ablation 2: initial simulation rounds N (dynamic control always on).
+    let mut rows = Vec::new();
+    for name in circuits {
+        let exact = catalog::by_name(name, options.scale).expect("known benchmark");
+        let mut row = vec![name.to_string()];
+        for rounds in [8usize, 32, 128] {
+            let outcome = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+                let cfg = config_with(LacConfig::default(), threshold, rounds, 5);
+                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+            }, |_| true);
+            row.push(percent(outcome.area_ratio));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Ablation 2: initial simulation rounds N (ER = 3%, area ratio)",
+        &["Circuit", "N=8", "N=32", "N=128"],
+        &rows,
+        &[1, 2, 3],
+    );
+
+    // Ablation 2b: adaptive N vs effectively-fixed N (huge patience).
+    let mut rows = Vec::new();
+    for name in circuits {
+        let exact = catalog::by_name(name, options.scale).expect("known benchmark");
+        let adaptive = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+            let cfg = config_with(LacConfig::default(), threshold, 32, 5);
+            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+        }, |_| true);
+        let fixed = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+            let cfg = config_with(LacConfig::default(), threshold, 32, usize::MAX / 8);
+            flow::run(&exact, &FlowConfig { seed, max_iterations: 120, ..cfg }).expect("flow")
+        }, |_| true);
+        rows.push(vec![
+            name.to_string(),
+            percent(adaptive.area_ratio),
+            percent(fixed.area_ratio),
+        ]);
+    }
+    print_table(
+        "Ablation 2b: adaptive N (t=5, r=0.9) vs fixed N = 32 (ER = 3%, area ratio)",
+        &["Circuit", "Adaptive", "Fixed"],
+        &rows,
+        &[1, 2],
+    );
+
+    // Ablation 3: divisor-set arity — the paper's 2-divisor fanin edits vs
+    // extended 3-divisor sets (fanins + one TFI signal). Extensions go
+    // beyond Algorithm 1 but quantify how much expressive power the
+    // 2-divisor restriction leaves on the table.
+    let mut rows = Vec::new();
+    for name in circuits {
+        let exact = catalog::by_name(name, options.scale).expect("known benchmark");
+        let two = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+            let cfg = config_with(LacConfig::default(), threshold, 32, 5);
+            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+        }, |_| true);
+        let three = average_outcome(&exact, options.seeds, asic_cost, |seed| {
+            let lac = LacConfig {
+                lac_limit: 3,
+                divisors: DivisorConfig {
+                    include_extensions: true,
+                    ..DivisorConfig::default()
+                },
+            };
+            let cfg = config_with(lac, threshold, 32, 5);
+            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+        }, |_| true);
+        rows.push(vec![
+            name.to_string(),
+            percent(two.area_ratio),
+            percent(three.area_ratio),
+        ]);
+    }
+    print_table(
+        "Ablation 3: 2-divisor (paper) vs extended 3-divisor LACs (ER = 3%, area ratio)",
+        &["Circuit", "2-divisor", "3-divisor"],
+        &rows,
+        &[1, 2],
+    );
+}

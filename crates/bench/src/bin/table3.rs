@@ -1,0 +1,52 @@
+//! Regenerates Table III: the benchmark inventory (circuit sizes).
+//!
+//! For each generated benchmark, prints the AIG node count, the mapped
+//! cell area (ASIC suites) or 6-LUT count and depth (EPFL suites) —
+//! the quantities the paper's Table III lists. Absolute values differ from
+//! the paper (our circuits are generated, not the original files); this
+//! table documents our substitutes' sizes.
+
+use alsrac_bench::{asic_cost, fpga_cost, print_table, Options};
+use alsrac_circuits::catalog;
+
+fn main() {
+    let options = Options::parse(std::env::args().skip(1));
+
+    let mut rows = Vec::new();
+    for bench in catalog::iscas_and_arith(options.scale) {
+        let (area, delay) = asic_cost(&bench.aig);
+        rows.push(vec![
+            bench.paper_name.to_string(),
+            bench.aig.num_inputs().to_string(),
+            bench.aig.num_outputs().to_string(),
+            bench.aig.num_ands().to_string(),
+            format!("{area:.0}"),
+            format!("{delay:.1}"),
+        ]);
+    }
+    print_table(
+        "Table III (a): ISCAS & arithmetic (ASIC: MCNC-like cell mapping)",
+        &["Circuit", "#PI", "#PO", "#AND", "Area", "Delay"],
+        &rows,
+        &[],
+    );
+
+    for (title, suite) in [
+        ("Table III (b): EPFL random/control (FPGA: 6-LUT mapping)", catalog::epfl_control(options.scale)),
+        ("Table III (c): EPFL arithmetic (FPGA: 6-LUT mapping)", catalog::epfl_arith(options.scale)),
+    ] {
+        let mut rows = Vec::new();
+        for bench in suite {
+            let (luts, depth) = fpga_cost(&bench.aig);
+            rows.push(vec![
+                bench.paper_name.to_string(),
+                bench.aig.num_inputs().to_string(),
+                bench.aig.num_outputs().to_string(),
+                bench.aig.num_ands().to_string(),
+                format!("{luts:.0}"),
+                format!("{depth:.0}"),
+            ]);
+        }
+        print_table(title, &["Circuit", "#PI", "#PO", "#AND", "#LUT", "Depth"], &rows, &[]);
+    }
+}

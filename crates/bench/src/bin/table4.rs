@@ -1,0 +1,93 @@
+//! Regenerates Table IV: ALSRAC vs Su's method on ASIC designs under
+//! error-rate constraints.
+//!
+//! For each ISCAS/arithmetic benchmark, both methods are run at each ER
+//! threshold (the paper's seven thresholds with `--full`, a three-point
+//! subset with the default `--quick`), and the per-circuit averages of
+//! area ratio, delay ratio, and runtime are printed — the same rows as the
+//! paper's Table IV.
+
+use alsrac::baseline::su::{self, SuConfig};
+use alsrac::flow::{self, FlowConfig};
+use alsrac_bench::{asic_cost, average_outcome, percent, print_table, within_budget, Options, Outcome};
+use alsrac_circuits::catalog;
+use alsrac_metrics::ErrorMetric;
+
+fn main() {
+    let options = Options::parse(std::env::args().skip(1));
+    // Paper-scale circuits re-optimize in batches to keep runtimes sane.
+    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper { 8 } else { 1 };
+    let thresholds: &[f64] = if options.full {
+        &[0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05]
+    } else {
+        &[0.01, 0.03, 0.05]
+    };
+
+    let mut rows = Vec::new();
+    for bench in catalog::iscas_and_arith(options.scale) {
+        let exact = &bench.aig;
+        let mut alsrac_avg = Outcome::default();
+        let mut su_avg = Outcome::default();
+        for &threshold in thresholds {
+            let a = average_outcome(exact, options.seeds, asic_cost, |seed| {
+                let config = FlowConfig {
+                    metric: ErrorMetric::ErrorRate,
+                    threshold,
+                    seed,
+                    max_iterations: 600,
+                    est_rounds: 1024,
+                    optimize_period: period,
+                    ..FlowConfig::default()
+                };
+                flow::run(exact, &config).expect("ALSRAC flow")
+            }, within_budget(ErrorMetric::ErrorRate, threshold));
+            let s = average_outcome(exact, options.seeds, asic_cost, |seed| {
+                let config = SuConfig {
+                    metric: ErrorMetric::ErrorRate,
+                    threshold,
+                    seed,
+                    max_iterations: if period > 1 { 150 } else { 400 },
+                    est_rounds: 1024,
+                    optimize_period: period,
+                    ..SuConfig::default()
+                };
+                su::run(exact, &config).expect("Su flow")
+            }, within_budget(ErrorMetric::ErrorRate, threshold));
+            alsrac_avg.area_ratio += a.area_ratio;
+            alsrac_avg.delay_ratio += a.delay_ratio;
+            alsrac_avg.seconds += a.seconds;
+            alsrac_avg.violations += a.violations;
+            su_avg.area_ratio += s.area_ratio;
+            su_avg.delay_ratio += s.delay_ratio;
+            su_avg.seconds += s.seconds;
+            su_avg.violations += s.violations;
+        }
+        let n = thresholds.len() as f64;
+        rows.push(vec![
+            bench.paper_name.to_string(),
+            percent(alsrac_avg.area_ratio / n),
+            percent(su_avg.area_ratio / n),
+            percent(alsrac_avg.delay_ratio / n),
+            percent(su_avg.delay_ratio / n),
+            format!("{:.1}", alsrac_avg.seconds / n),
+            format!("{:.1}", su_avg.seconds / n),
+            format!("{}/{}", alsrac_avg.violations, su_avg.violations),
+        ]);
+        eprintln!("done: {} {:?}", bench.paper_name, rows.last().expect("row just pushed"));
+    }
+    print_table(
+        "Table IV: ALSRAC vs Su under ER constraint (ASIC)",
+        &[
+            "Circuit",
+            "ALSRAC area",
+            "Su area",
+            "ALSRAC delay",
+            "Su delay",
+            "ALSRAC t(s)",
+            "Su t(s)",
+            "viol A/S",
+        ],
+        &rows,
+        &[1, 2, 3, 4, 5, 6],
+    );
+}

@@ -1,0 +1,256 @@
+//! Shared experiment harness for regenerating the ALSRAC paper's tables.
+//!
+//! Each table of §IV has a binary in `src/bin` (`table3` … `table7`,
+//! `ablation`); this library holds the common machinery: cost evaluation
+//! through the two technology mappers, multi-seed averaging (the paper runs
+//! everything three times), and fixed-width table printing.
+//!
+//! All binaries accept:
+//!
+//! * `--scale test|paper` — circuit sizes (default `test`, CI-friendly;
+//!   `paper` approaches Table III sizes),
+//! * `--seeds N` — averaging runs (default 1; the paper uses 3),
+//! * `--quick` / `--full` — threshold sweep density.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use alsrac::flow::FlowResult;
+use alsrac_aig::Aig;
+use alsrac_circuits::catalog::Scale;
+use alsrac_map::cell::{map_cells, Library};
+use alsrac_map::lut::map_luts;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Benchmark generation scale.
+    pub scale: Scale,
+    /// Number of seeds to average over.
+    pub seeds: u64,
+    /// Dense threshold sweep (the paper's full list) vs. a quick subset.
+    pub full: bool,
+}
+
+impl Options {
+    /// Parses `std::env::args`-style arguments; unknown flags abort with a
+    /// usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut options = Options {
+            scale: Scale::Test,
+            seeds: 1,
+            full: false,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let value = args.next().unwrap_or_default();
+                    options.scale = match value.as_str() {
+                        "test" => Scale::Test,
+                        "paper" => Scale::Paper,
+                        other => usage(&format!("unknown scale {other:?}")),
+                    };
+                }
+                "--seeds" => {
+                    let value = args.next().unwrap_or_default();
+                    options.seeds = value.parse().unwrap_or_else(|_| usage("bad --seeds"));
+                }
+                "--quick" => options.full = false,
+                "--full" => options.full = true,
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        options
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: <binary> [--scale test|paper] [--seeds N] [--quick|--full]");
+    std::process::exit(2)
+}
+
+/// ASIC cost of a circuit: (cell area, critical-path delay) under the
+/// MCNC-like library — the §IV-B cost model.
+pub fn asic_cost(aig: &Aig) -> (f64, f64) {
+    let mapping = map_cells(aig, &Library::mcnc());
+    (mapping.area, mapping.delay)
+}
+
+/// FPGA cost of a circuit: (6-LUT count, LUT depth) — the §IV-C cost model.
+pub fn fpga_cost(aig: &Aig) -> (f64, f64) {
+    let mapping = map_luts(aig, 6);
+    (mapping.num_luts() as f64, f64::from(mapping.depth()))
+}
+
+/// One averaged experiment outcome for a (circuit, method, threshold) cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Outcome {
+    /// Mapped area of the approximate circuit over the exact one.
+    pub area_ratio: f64,
+    /// Mapped delay of the approximate circuit over the exact one.
+    pub delay_ratio: f64,
+    /// Wall-clock seconds of the synthesis run.
+    pub seconds: f64,
+    /// Runs whose independently *measured* error exceeded the threshold by
+    /// more than 10% — statistical-estimation escapes the paper's setup
+    /// shares but does not report. Non-zero values flag untrustworthy
+    /// area numbers.
+    pub violations: usize,
+}
+
+/// Runs `method` `seeds` times and averages mapped cost ratios, using
+/// `cost` as the technology cost model. `check` receives each run's
+/// measurement and says whether it honours the error budget (used for the
+/// violation count).
+pub fn average_outcome(
+    exact: &Aig,
+    seeds: u64,
+    cost: impl Fn(&Aig) -> (f64, f64),
+    mut method: impl FnMut(u64) -> FlowResult,
+    check: impl Fn(&FlowResult) -> bool,
+) -> Outcome {
+    let (base_area, base_delay) = cost(exact);
+    let mut total = Outcome::default();
+    for seed in 1..=seeds {
+        let start = Instant::now();
+        let result = method(seed);
+        let seconds = start.elapsed().as_secs_f64();
+        let (area, delay) = cost(&result.approx);
+        total.area_ratio += safe_ratio(area, base_area);
+        total.delay_ratio += safe_ratio(delay, base_delay);
+        total.seconds += seconds;
+        if !check(&result) {
+            total.violations += 1;
+        }
+    }
+    let n = seeds.max(1) as f64;
+    Outcome {
+        area_ratio: total.area_ratio / n,
+        delay_ratio: total.delay_ratio / n,
+        seconds: total.seconds / n,
+        violations: total.violations,
+    }
+}
+
+/// Standard budget check: measured error within 110% of the threshold
+/// (tolerating Monte-Carlo noise).
+pub fn within_budget(
+    metric: alsrac_metrics::ErrorMetric,
+    threshold: f64,
+) -> impl Fn(&FlowResult) -> bool {
+    move |result| {
+        result
+            .measured
+            .value(metric)
+            .is_none_or(|v| v <= threshold * 1.10 + 1e-12)
+    }
+}
+
+fn safe_ratio(value: f64, base: f64) -> f64 {
+    if base > 0.0 {
+        value / base
+    } else {
+        1.0
+    }
+}
+
+/// Prints a fixed-width table: a header row and then `rows`, with the
+/// arithmetic-mean row appended (as in the paper's tables).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>], mean_over: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        print_row(row);
+    }
+    if !rows.is_empty() && !mean_over.is_empty() {
+        let mut mean_row: Vec<String> = vec![String::new(); header.len()];
+        mean_row[0] = "Arithmean".to_string();
+        for &col in mean_over {
+            let sum: f64 = rows
+                .iter()
+                .filter_map(|r| parse_cell(&r[col]))
+                .sum();
+            let count = rows.iter().filter(|r| parse_cell(&r[col]).is_some()).count();
+            if count > 0 {
+                let mean = sum / count as f64;
+                mean_row[col] = if rows.iter().any(|r| r[col].ends_with('%')) {
+                    format!("{mean:.2}%")
+                } else {
+                    format!("{mean:.2}")
+                };
+            }
+        }
+        print_row(&mean_row);
+    }
+}
+
+fn parse_cell(cell: &str) -> Option<f64> {
+    cell.trim_end_matches('%').parse().ok()
+}
+
+/// Formats a ratio as the paper does (percent, two decimals).
+pub fn percent(ratio: f64) -> String {
+    format!("{:.2}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let o = Options::parse(std::iter::empty());
+        assert_eq!(o.scale, Scale::Test);
+        assert_eq!(o.seeds, 1);
+        assert!(!o.full);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let args = ["--scale", "paper", "--seeds", "3", "--full"]
+            .iter()
+            .map(|s| s.to_string());
+        let o = Options::parse(args);
+        assert_eq!(o.scale, Scale::Paper);
+        assert_eq!(o.seeds, 3);
+        assert!(o.full);
+    }
+
+    #[test]
+    fn costs_are_positive_for_real_circuits() {
+        let aig = alsrac_circuits::arith::ripple_carry_adder(4);
+        let (a, d) = asic_cost(&aig);
+        assert!(a > 0.0 && d > 0.0);
+        let (l, dep) = fpga_cost(&aig);
+        assert!(l > 0.0 && dep > 0.0);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.8011), "80.11%");
+    }
+
+    #[test]
+    fn safe_ratio_handles_zero_base() {
+        assert_eq!(safe_ratio(5.0, 0.0), 1.0);
+        assert_eq!(safe_ratio(5.0, 10.0), 0.5);
+    }
+}

@@ -1,0 +1,507 @@
+//! AIGER format reading and writing (combinational subset).
+//!
+//! AIGER is the standard interchange format for AIGs (Biere, 2007). Both
+//! the ASCII (`aag`) and binary (`aig`) variants are supported for
+//! combinational circuits (no latches). Literal encoding matches
+//! [`alsrac_aig::Lit`]: `2*var + complement`, variable 0 is constant
+//! false.
+
+use std::error::Error;
+use std::fmt;
+
+use alsrac_aig::{Aig, Lit};
+
+/// Errors produced by the AIGER readers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AigerError {
+    /// The header line is missing or malformed.
+    BadHeader {
+        /// Offending header text.
+        line: String,
+    },
+    /// The file declares latches, which this reader does not support.
+    HasLatches,
+    /// A literal is out of range or malformed.
+    BadLiteral {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The binary delta stream ended early or overflowed.
+    BadBinaryStream,
+}
+
+impl fmt::Display for AigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigerError::BadHeader { line } => write!(f, "malformed aiger header {line:?}"),
+            AigerError::HasLatches => write!(f, "latches are not supported"),
+            AigerError::BadLiteral { detail } => write!(f, "bad literal: {detail}"),
+            AigerError::BadBinaryStream => write!(f, "truncated or invalid binary stream"),
+        }
+    }
+}
+
+impl Error for AigerError {}
+
+/// Renumbers an AIG into AIGER convention: inputs occupy variables
+/// `1..=I`, AND nodes follow in topological order. Returns the mapping
+/// from node index to AIGER variable.
+fn aiger_variables(aig: &Aig) -> Vec<u32> {
+    let mut vars = vec![0u32; aig.num_nodes()];
+    let mut next = 1u32;
+    for &input in aig.inputs() {
+        vars[input.index()] = next;
+        next += 1;
+    }
+    for id in aig.iter_ands() {
+        vars[id.index()] = next;
+        next += 1;
+    }
+    vars
+}
+
+fn aiger_lit(vars: &[u32], lit: Lit) -> u32 {
+    vars[lit.node().index()] << 1 | lit.is_complement() as u32
+}
+
+/// Serializes an AIG in ASCII AIGER (`aag`) format.
+pub fn write_ascii(aig: &Aig) -> String {
+    use std::fmt::Write as _;
+    let vars = aiger_variables(aig);
+    let num_ands = aig.num_ands();
+    let max_var = aig.num_inputs() + num_ands;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {} {} 0 {} {}",
+        max_var,
+        aig.num_inputs(),
+        aig.num_outputs(),
+        num_ands
+    );
+    for &input in aig.inputs() {
+        let _ = writeln!(out, "{}", vars[input.index()] << 1);
+    }
+    for output in aig.outputs() {
+        let _ = writeln!(out, "{}", aiger_lit(&vars, output.lit));
+    }
+    for id in aig.iter_ands() {
+        let [f0, f1] = aig.and_fanins(id);
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            vars[id.index()] << 1,
+            aiger_lit(&vars, f0),
+            aiger_lit(&vars, f1)
+        );
+    }
+    // Symbol table and comment.
+    for (i, _) in aig.inputs().iter().enumerate() {
+        let _ = writeln!(out, "i{i} {}", aig.input_name(i));
+    }
+    for (i, output) in aig.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{i} {}", output.name);
+    }
+    let _ = writeln!(out, "c\n{}", aig.name());
+    out
+}
+
+/// Serializes an AIG in binary AIGER (`aig`) format.
+///
+/// In the binary format AND definitions are implicit (ascending variables)
+/// and each gate stores two LEB128-style deltas `lhs - rhs0`, `rhs0 - rhs1`
+/// with `lhs > rhs0 >= rhs1` — which AIGER guarantees by construction and
+/// our normalized fanin order satisfies after swapping.
+pub fn write_binary(aig: &Aig) -> Vec<u8> {
+    let vars = aiger_variables(aig);
+    let num_ands = aig.num_ands();
+    let max_var = aig.num_inputs() + num_ands;
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} 0 {} {}\n",
+            max_var,
+            aig.num_inputs(),
+            aig.num_outputs(),
+            num_ands
+        )
+        .as_bytes(),
+    );
+    for output in aig.outputs() {
+        out.extend_from_slice(format!("{}\n", aiger_lit(&vars, output.lit)).as_bytes());
+    }
+    for id in aig.iter_ands() {
+        let [f0, f1] = aig.and_fanins(id);
+        let lhs = vars[id.index()] << 1;
+        let (mut rhs0, mut rhs1) = (aiger_lit(&vars, f0), aiger_lit(&vars, f1));
+        if rhs0 < rhs1 {
+            std::mem::swap(&mut rhs0, &mut rhs1);
+        }
+        debug_assert!(lhs > rhs0 && rhs0 >= rhs1);
+        write_delta(&mut out, lhs - rhs0);
+        write_delta(&mut out, rhs0 - rhs1);
+    }
+    out
+}
+
+fn write_delta(out: &mut Vec<u8>, mut delta: u32) {
+    loop {
+        let byte = (delta & 0x7F) as u8;
+        delta >>= 7;
+        if delta == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_delta(bytes: &[u8], pos: &mut usize) -> Result<u32, AigerError> {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(AigerError::BadBinaryStream)?;
+        *pos += 1;
+        if shift >= 32 {
+            return Err(AigerError::BadBinaryStream);
+        }
+        value |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+struct Header {
+    max_var: u32,
+    inputs: u32,
+    latches: u32,
+    outputs: u32,
+    ands: u32,
+    binary: bool,
+}
+
+fn parse_header(line: &str) -> Result<Header, AigerError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let bad = || AigerError::BadHeader {
+        line: line.to_string(),
+    };
+    if tokens.len() < 6 {
+        return Err(bad());
+    }
+    let binary = match tokens[0] {
+        "aig" => true,
+        "aag" => false,
+        _ => return Err(bad()),
+    };
+    let nums: Vec<u32> = tokens[1..6]
+        .iter()
+        .map(|t| t.parse().map_err(|_| bad()))
+        .collect::<Result<_, _>>()?;
+    Ok(Header {
+        max_var: nums[0],
+        inputs: nums[1],
+        latches: nums[2],
+        outputs: nums[3],
+        ands: nums[4],
+        binary,
+    })
+}
+
+/// Parses ASCII AIGER (`aag`) text.
+///
+/// # Errors
+///
+/// Returns an [`AigerError`] for malformed headers/literals or latches.
+pub fn parse_ascii(text: &str) -> Result<Aig, AigerError> {
+    let mut lines = text.lines();
+    let header = parse_header(lines.next().unwrap_or_default())?;
+    if header.latches != 0 {
+        return Err(AigerError::HasLatches);
+    }
+    if header.binary {
+        return Err(AigerError::BadHeader {
+            line: "binary header in ascii parser".to_string(),
+        });
+    }
+    let parse_u32 = |s: &str| -> Result<u32, AigerError> {
+        s.trim().parse().map_err(|_| AigerError::BadLiteral {
+            detail: format!("not a number: {s:?}"),
+        })
+    };
+
+    let mut input_lits = Vec::with_capacity(header.inputs as usize);
+    for _ in 0..header.inputs {
+        let lit = parse_u32(lines.next().unwrap_or_default())?;
+        if lit & 1 != 0 {
+            return Err(AigerError::BadLiteral {
+                detail: format!("complemented input definition {lit}"),
+            });
+        }
+        input_lits.push(lit);
+    }
+    let mut output_lits = Vec::with_capacity(header.outputs as usize);
+    for _ in 0..header.outputs {
+        output_lits.push(parse_u32(lines.next().unwrap_or_default())?);
+    }
+    let mut and_defs = Vec::with_capacity(header.ands as usize);
+    for _ in 0..header.ands {
+        let line = lines.next().unwrap_or_default();
+        let nums: Vec<u32> = line
+            .split_whitespace()
+            .map(parse_u32)
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 3 {
+            return Err(AigerError::BadLiteral {
+                detail: format!("and line {line:?}"),
+            });
+        }
+        and_defs.push((nums[0], nums[1], nums[2]));
+    }
+    // Symbol table (optional).
+    let mut input_names: Vec<Option<String>> = vec![None; header.inputs as usize];
+    let mut output_names: Vec<Option<String>> = vec![None; header.outputs as usize];
+    for line in lines {
+        if line == "c" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('i') {
+            if let Some((idx, name)) = rest.split_once(' ') {
+                if let Ok(i) = idx.parse::<usize>() {
+                    if i < input_names.len() {
+                        input_names[i] = Some(name.to_string());
+                    }
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix('o') {
+            if let Some((idx, name)) = rest.split_once(' ') {
+                if let Ok(i) = idx.parse::<usize>() {
+                    if i < output_names.len() {
+                        output_names[i] = Some(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    build(
+        header,
+        &input_lits,
+        &output_lits,
+        &and_defs,
+        &input_names,
+        &output_names,
+    )
+}
+
+/// Parses binary AIGER (`aig`) bytes.
+///
+/// # Errors
+///
+/// Returns an [`AigerError`] for malformed input or latches.
+pub fn parse_binary(bytes: &[u8]) -> Result<Aig, AigerError> {
+    // Header and output lines are ASCII; find them line by line.
+    let mut pos = 0usize;
+    let next_line = |pos: &mut usize| -> Result<String, AigerError> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'\n' {
+            *pos += 1;
+        }
+        if *pos >= bytes.len() {
+            return Err(AigerError::BadBinaryStream);
+        }
+        let line = String::from_utf8_lossy(&bytes[start..*pos]).into_owned();
+        *pos += 1;
+        Ok(line)
+    };
+    let header = parse_header(&next_line(&mut pos)?)?;
+    if header.latches != 0 {
+        return Err(AigerError::HasLatches);
+    }
+    if !header.binary {
+        return Err(AigerError::BadHeader {
+            line: "ascii header in binary parser".to_string(),
+        });
+    }
+    let input_lits: Vec<u32> = (0..header.inputs).map(|i| (i + 1) << 1).collect();
+    let mut output_lits = Vec::with_capacity(header.outputs as usize);
+    for _ in 0..header.outputs {
+        let line = next_line(&mut pos)?;
+        output_lits.push(line.trim().parse().map_err(|_| AigerError::BadLiteral {
+            detail: format!("output line {line:?}"),
+        })?);
+    }
+    let mut and_defs = Vec::with_capacity(header.ands as usize);
+    for i in 0..header.ands {
+        let lhs = (header.inputs + 1 + i) << 1;
+        let d0 = read_delta(bytes, &mut pos)?;
+        let d1 = read_delta(bytes, &mut pos)?;
+        let rhs0 = lhs.checked_sub(d0).ok_or(AigerError::BadBinaryStream)?;
+        let rhs1 = rhs0.checked_sub(d1).ok_or(AigerError::BadBinaryStream)?;
+        and_defs.push((lhs, rhs0, rhs1));
+    }
+    let input_names = vec![None; header.inputs as usize];
+    let output_names = vec![None; header.outputs as usize];
+    build(
+        header,
+        &input_lits,
+        &output_lits,
+        &and_defs,
+        &input_names,
+        &output_names,
+    )
+}
+
+fn build(
+    header: Header,
+    input_lits: &[u32],
+    output_lits: &[u32],
+    and_defs: &[(u32, u32, u32)],
+    input_names: &[Option<String>],
+    output_names: &[Option<String>],
+) -> Result<Aig, AigerError> {
+    let mut aig = Aig::new("aiger");
+    // map from aiger variable to our literal.
+    let mut map: Vec<Option<Lit>> = vec![None; header.max_var as usize + 1];
+    map[0] = Some(Lit::FALSE);
+    for (i, &lit) in input_lits.iter().enumerate() {
+        let var = (lit >> 1) as usize;
+        if var >= map.len() {
+            return Err(AigerError::BadLiteral {
+                detail: format!("input variable {var} exceeds max"),
+            });
+        }
+        let name = input_names[i].clone().unwrap_or_else(|| format!("i{i}"));
+        map[var] = Some(aig.add_input(name));
+    }
+    let resolve = |map: &[Option<Lit>], lit: u32| -> Result<Lit, AigerError> {
+        let var = (lit >> 1) as usize;
+        let base = map
+            .get(var)
+            .copied()
+            .flatten()
+            .ok_or_else(|| AigerError::BadLiteral {
+                detail: format!("literal {lit} references undefined variable"),
+            })?;
+        Ok(base.complement_if(lit & 1 != 0))
+    };
+    for &(lhs, rhs0, rhs1) in and_defs {
+        let a = resolve(&map, rhs0)?;
+        let b = resolve(&map, rhs1)?;
+        let var = (lhs >> 1) as usize;
+        if lhs & 1 != 0 || var >= map.len() {
+            return Err(AigerError::BadLiteral {
+                detail: format!("and lhs {lhs}"),
+            });
+        }
+        map[var] = Some(aig.and(a, b));
+    }
+    for (i, &lit) in output_lits.iter().enumerate() {
+        let resolved = resolve(&map, lit)?;
+        let name = output_names[i].clone().unwrap_or_else(|| format!("o{i}"));
+        aig.add_output(name, resolved);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+
+    fn check_equiv(a: &Aig, b: &Aig, n: usize) {
+        for p in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(a.evaluate(&bits), b.evaluate(&bits), "pattern {p:b}");
+        }
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let original = arith::ripple_carry_adder(3);
+        let text = write_ascii(&original);
+        let parsed = parse_ascii(&text).expect("parse");
+        assert_eq!(parsed.num_inputs(), 6);
+        assert_eq!(parsed.num_outputs(), 4);
+        check_equiv(&original, &parsed, 6);
+        // Symbol table preserved.
+        assert_eq!(parsed.input_name(0), "a0");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let original = arith::wallace_multiplier(3);
+        let bytes = write_binary(&original);
+        let parsed = parse_binary(&bytes).expect("parse");
+        check_equiv(&original, &parsed, 6);
+    }
+
+    #[test]
+    fn binary_and_ascii_agree() {
+        let original = arith::kogge_stone_adder(4);
+        let from_ascii = parse_ascii(&write_ascii(&original)).expect("ascii");
+        let from_binary = parse_binary(&write_binary(&original)).expect("binary");
+        check_equiv(&from_ascii, &from_binary, 8);
+    }
+
+    #[test]
+    fn constant_outputs_round_trip() {
+        let mut aig = Aig::new("c");
+        let a = aig.add_input("a");
+        aig.add_output("one", Lit::TRUE);
+        aig.add_output("wire", !a);
+        let parsed = parse_ascii(&write_ascii(&aig)).expect("parse");
+        assert_eq!(parsed.evaluate(&[false]), vec![true, true]);
+        assert_eq!(parsed.evaluate(&[true]), vec![true, false]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(parse_ascii(text), Err(AigerError::HasLatches)));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_ascii("oops"),
+            Err(AigerError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_binary(b"aag 1 1 0 0 0\n2\n"),
+            Err(AigerError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        let original = arith::ripple_carry_adder(2);
+        let mut bytes = write_binary(&original);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            parse_binary(&bytes),
+            Err(AigerError::BadBinaryStream)
+        ));
+    }
+
+    #[test]
+    fn parses_known_aag_example() {
+        // Half adder from the AIGER spec family: s = a^b, c = a&b.
+        let text = "\
+aag 4 2 0 2 2
+2
+4
+6
+9
+6 2 4
+8 3 5
+";
+        // o0 = and(a, b), o1 = !and(!a, !b)... decode: lit 6 = var3 = a&b;
+        // lit 9 = !var4; var4 = !a & !b; so o1 = a | b.
+        let aig = parse_ascii(text).expect("parse");
+        assert_eq!(aig.evaluate(&[true, true]), vec![true, true]);
+        assert_eq!(aig.evaluate(&[true, false]), vec![false, true]);
+        assert_eq!(aig.evaluate(&[false, false]), vec![false, false]);
+    }
+}

@@ -1,0 +1,464 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! Supports the combinational subset: `.model`, `.inputs`, `.outputs`,
+//! `.names` (with `-` don't-cares and 0/1 output covers), and `.end`, with
+//! backslash line continuations. This is enough to round-trip every graph
+//! in this workspace and to exchange circuits with ABC/SIS.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use alsrac_aig::{Aig, Lit, Node};
+
+/// Errors produced by [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlifError {
+    /// A directive other than the supported subset was encountered.
+    UnsupportedDirective {
+        /// The directive (e.g. `.latch`).
+        directive: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A `.names` cube row was malformed.
+    MalformedCube {
+        /// The offending row.
+        row: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A signal is referenced but never defined as an input or `.names`
+    /// output.
+    UndefinedSignal {
+        /// The signal name.
+        name: String,
+    },
+    /// Signal definitions form a combinational cycle.
+    CyclicDefinition {
+        /// A signal on the cycle.
+        name: String,
+    },
+    /// The file has no `.model` section.
+    MissingModel,
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::UnsupportedDirective { directive, line } => {
+                write!(f, "unsupported directive {directive} on line {line}")
+            }
+            BlifError::MalformedCube { row, line } => {
+                write!(f, "malformed cube row {row:?} on line {line}")
+            }
+            BlifError::UndefinedSignal { name } => write!(f, "undefined signal {name}"),
+            BlifError::CyclicDefinition { name } => {
+                write!(f, "cyclic definition involving {name}")
+            }
+            BlifError::MissingModel => write!(f, "missing .model section"),
+        }
+    }
+}
+
+impl Error for BlifError {}
+
+/// Serializes an [`Aig`] to BLIF text.
+///
+/// Internal nodes are named `n{index}`; each AND becomes a two-input
+/// `.names` table, and each primary output gets a buffer/inverter table
+/// from its driver.
+pub fn write(aig: &Aig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", sanitize(aig.name()));
+    let input_names: Vec<String> = (0..aig.num_inputs())
+        .map(|i| sanitize(aig.input_name(i)))
+        .collect();
+    let _ = writeln!(out, ".inputs {}", input_names.join(" "));
+    let output_names: Vec<String> = aig
+        .outputs()
+        .iter()
+        .map(|o| sanitize(&o.name))
+        .collect();
+    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
+
+    let signal = |lit_node: alsrac_aig::NodeId| -> String {
+        match aig.node(lit_node) {
+            Node::Const => "$const0".to_string(),
+            Node::Input { index } => sanitize(aig.input_name(*index as usize)),
+            Node::And { .. } => format!("n{}", lit_node.index()),
+        }
+    };
+
+    // Constant-zero signal, emitted only if referenced.
+    let uses_const = aig.outputs().iter().any(|o| o.lit.node() == alsrac_aig::NodeId::CONST)
+        || aig.iter_ands().any(|id| {
+            let [f0, f1] = aig.and_fanins(id);
+            f0.node() == alsrac_aig::NodeId::CONST || f1.node() == alsrac_aig::NodeId::CONST
+        });
+    if uses_const {
+        let _ = writeln!(out, ".names $const0");
+    }
+
+    for id in aig.iter_ands() {
+        let [f0, f1] = aig.and_fanins(id);
+        let _ = writeln!(out, ".names {} {} n{}", signal(f0.node()), signal(f1.node()), id.index());
+        let _ = writeln!(
+            out,
+            "{}{} 1",
+            if f0.is_complement() { '0' } else { '1' },
+            if f1.is_complement() { '0' } else { '1' },
+        );
+    }
+    for output in aig.outputs() {
+        let _ = writeln!(out, ".names {} {}", signal(output.lit.node()), sanitize(&output.name));
+        let _ = writeln!(out, "{} 1", if output.lit.is_complement() { '0' } else { '1' });
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// One parsed `.names` table.
+struct NamesTable {
+    inputs: Vec<String>,
+    /// Rows of (input pattern chars, output char).
+    rows: Vec<(Vec<u8>, u8)>,
+}
+
+/// Parses BLIF text into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`BlifError`] for unsupported directives (latches,
+/// subcircuits), malformed cubes, undefined or cyclically defined signals,
+/// or a missing `.model`.
+pub fn parse(text: &str) -> Result<Aig, BlifError> {
+    // Join continuation lines, strip comments.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_start = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = line.trim_end();
+        if pending.is_empty() {
+            pending_start = lineno + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(trimmed);
+            let full = std::mem::take(&mut pending);
+            if !full.trim().is_empty() {
+                logical_lines.push((pending_start, full));
+            }
+        }
+    }
+
+    let mut model_name = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut tables: HashMap<String, NamesTable> = HashMap::new();
+    let mut current: Option<(String, NamesTable)> = None;
+
+    for (lineno, line) in &logical_lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens[0].starts_with('.') {
+            if let Some((name, table)) = current.take() {
+                tables.insert(name, table);
+            }
+            match tokens[0] {
+                ".model" => model_name = Some(tokens.get(1).unwrap_or(&"top").to_string()),
+                ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+                ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+                ".names" => {
+                    let all: Vec<String> = tokens[1..].iter().map(|s| s.to_string()).collect();
+                    let (target, ins) = all.split_last().map(|(t, i)| (t.clone(), i.to_vec())).unwrap_or_default();
+                    current = Some((
+                        target,
+                        NamesTable {
+                            inputs: ins,
+                            rows: Vec::new(),
+                        },
+                    ));
+                }
+                ".end" => break,
+                ".exdc" => break, // ignore external-don't-care section
+                other => {
+                    return Err(BlifError::UnsupportedDirective {
+                        directive: other.to_string(),
+                        line: *lineno,
+                    })
+                }
+            }
+        } else if let Some((_, table)) = current.as_mut() {
+            // Cube row: `<pattern> <out>` (or `<out>` alone for constants).
+            let (pattern, out_char) = match tokens.len() {
+                1 => (Vec::new(), tokens[0].as_bytes()),
+                2 => (tokens[0].as_bytes().to_vec(), tokens[1].as_bytes()),
+                _ => {
+                    return Err(BlifError::MalformedCube {
+                        row: line.clone(),
+                        line: *lineno,
+                    })
+                }
+            };
+            if out_char.len() != 1
+                || !matches!(out_char[0], b'0' | b'1')
+                || pattern.len() != table.inputs.len()
+                || pattern.iter().any(|c| !matches!(c, b'0' | b'1' | b'-'))
+            {
+                return Err(BlifError::MalformedCube {
+                    row: line.clone(),
+                    line: *lineno,
+                });
+            }
+            table.rows.push((pattern, out_char[0]));
+        } else {
+            return Err(BlifError::MalformedCube {
+                row: line.clone(),
+                line: *lineno,
+            });
+        }
+    }
+    if let Some((name, table)) = current.take() {
+        tables.insert(name, table);
+    }
+    let model_name = model_name.ok_or(BlifError::MissingModel)?;
+
+    let mut aig = Aig::new(model_name);
+    let mut signals: HashMap<String, Lit> = HashMap::new();
+    for input in &inputs {
+        let lit = aig.add_input(input.clone());
+        signals.insert(input.clone(), lit);
+    }
+
+    // Resolve .names tables recursively (they may appear in any order).
+    fn resolve(
+        name: &str,
+        aig: &mut Aig,
+        signals: &mut HashMap<String, Lit>,
+        tables: &HashMap<String, NamesTable>,
+        visiting: &mut Vec<String>,
+    ) -> Result<Lit, BlifError> {
+        if let Some(&lit) = signals.get(name) {
+            return Ok(lit);
+        }
+        if visiting.iter().any(|v| v == name) {
+            return Err(BlifError::CyclicDefinition {
+                name: name.to_string(),
+            });
+        }
+        let table = tables.get(name).ok_or_else(|| BlifError::UndefinedSignal {
+            name: name.to_string(),
+        })?;
+        visiting.push(name.to_string());
+        let fanins: Vec<Lit> = table
+            .inputs
+            .iter()
+            .map(|i| resolve(i, aig, signals, tables, visiting))
+            .collect::<Result<_, _>>()?;
+        visiting.pop();
+
+        // SOP over ones-rows; BLIF requires a single output phase per table.
+        let ones_rows = table.rows.iter().filter(|(_, o)| *o == b'1');
+        let zeros_rows = table.rows.iter().filter(|(_, o)| *o == b'0');
+        let build_sum = |aig: &mut Aig, rows: Vec<&(Vec<u8>, u8)>| -> Lit {
+            let products: Vec<Lit> = rows
+                .iter()
+                .map(|(pattern, _)| {
+                    let lits: Vec<Lit> = pattern
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c != b'-')
+                        .map(|(i, &c)| fanins[i].complement_if(c == b'0'))
+                        .collect();
+                    aig.and_all(&lits)
+                })
+                .collect();
+            aig.or_all(&products)
+        };
+        let ones: Vec<_> = ones_rows.collect();
+        let zeros: Vec<_> = zeros_rows.collect();
+        let lit = if !ones.is_empty() {
+            build_sum(aig, ones)
+        } else if !zeros.is_empty() {
+            !build_sum(aig, zeros)
+        } else {
+            Lit::FALSE
+        };
+        signals.insert(name.to_string(), lit);
+        Ok(lit)
+    }
+
+    for output in &outputs {
+        let mut visiting = Vec::new();
+        let lit = resolve(output, &mut aig, &mut signals, &tables, &mut visiting)?;
+        aig.add_output(output.clone(), lit);
+    }
+    Ok(aig.cleaned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let original = arith::ripple_carry_adder(3);
+        let text = write(&original);
+        let parsed = parse(&text).expect("parse back");
+        assert_eq!(parsed.num_inputs(), original.num_inputs());
+        assert_eq!(parsed.num_outputs(), original.num_outputs());
+        for p in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(parsed.evaluate(&bits), original.evaluate(&bits), "p={p}");
+        }
+    }
+
+    #[test]
+    fn parses_multi_input_names_with_dont_cares() {
+        let text = "\
+.model t
+.inputs a b c
+.outputs y
+.names a b c y
+1-1 1
+01- 1
+.end
+";
+        let aig = parse(text).expect("parse");
+        for p in 0..8u64 {
+            let (a, b, c) = (p & 1 != 0, p & 2 != 0, p & 4 != 0);
+            let want = (a && c) || (!a && b);
+            assert_eq!(aig.evaluate(&[a, b, c]), vec![want], "p={p:b}");
+        }
+    }
+
+    #[test]
+    fn parses_zero_phase_cover() {
+        let text = "\
+.model t
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let aig = parse(text).expect("parse");
+        assert_eq!(aig.evaluate(&[true, true]), vec![false]);
+        assert_eq!(aig.evaluate(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn parses_constants() {
+        let text = "\
+.model t
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let aig = parse(text).expect("parse");
+        assert_eq!(aig.evaluate(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn parses_out_of_order_definitions() {
+        let text = "\
+.model t
+.inputs a b
+.outputs y
+.names mid b y
+11 1
+.names a mid
+0 1
+.end
+";
+        let aig = parse(text).expect("parse");
+        assert_eq!(aig.evaluate(&[false, true]), vec![true]);
+        assert_eq!(aig.evaluate(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let aig = parse(text).expect("parse");
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.evaluate(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn rejects_latch() {
+        let text = ".model t\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        let err = parse(text).expect_err("latch unsupported");
+        assert!(matches!(err, BlifError::UnsupportedDirective { .. }));
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let text = ".model t\n.inputs a\n.outputs y\n.end\n";
+        let err = parse(text).expect_err("y undefined");
+        assert_eq!(
+            err,
+            BlifError::UndefinedSignal {
+                name: "y".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text = "\
+.model t
+.inputs a
+.outputs y
+.names y a y
+11 1
+.end
+";
+        let err = parse(text).expect_err("cycle");
+        assert!(matches!(err, BlifError::CyclicDefinition { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_cube() {
+        let text = ".model t\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
+        let err = parse(text).expect_err("bad cube");
+        assert!(matches!(err, BlifError::MalformedCube { .. }));
+    }
+
+    #[test]
+    fn write_mentions_const_only_when_used() {
+        let adder = arith::ripple_carry_adder(2);
+        assert!(!write(&adder).contains("$const0"));
+        let mut aig = Aig::new("c");
+        aig.add_input("a");
+        aig.add_output("zero", Lit::FALSE);
+        assert!(write(&aig).contains("$const0"));
+        let parsed = parse(&write(&aig)).expect("parse");
+        assert_eq!(parsed.evaluate(&[true]), vec![false]);
+    }
+}

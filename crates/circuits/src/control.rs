@@ -1,0 +1,349 @@
+//! Random/control benchmark generators.
+//!
+//! Analogues of the EPFL random/control set used in Table VI of the paper:
+//! decoders, priority encoders, arbiters, voters, routers, and an
+//! int-to-float converter.
+
+use alsrac_aig::{Aig, Lit};
+
+use crate::words;
+
+/// `decoder{n}`: full `n`-to-`2^n` decoder (`n` inputs, `2^n` outputs).
+///
+/// # Panics
+///
+/// Panics if `n > 12` (the output count would explode).
+pub fn decoder(n: usize) -> Aig {
+    assert!(n <= 12, "decoder limited to 12 select bits");
+    let mut aig = Aig::new(format!("decoder{n}"));
+    let sel = aig.add_inputs("s", n);
+    for value in 0..1usize << n {
+        let lits: Vec<Lit> = sel
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s.complement_if(value >> i & 1 == 0))
+            .collect();
+        let out = aig.and_all(&lits);
+        aig.add_output(format!("d{value}"), out);
+    }
+    aig
+}
+
+/// `priority{n}`: priority encoder over `n` request lines (`n` inputs,
+/// `ceil(log2(n)) + 1` outputs: the index of the lowest-numbered active
+/// request plus a `valid` flag).
+pub fn priority_encoder(n: usize) -> Aig {
+    let idx_bits = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+    let mut aig = Aig::new(format!("priority{n}"));
+    let req = aig.add_inputs("r", n);
+    let mut taken = Lit::FALSE;
+    let mut index = words::constant_word(0, idx_bits);
+    for (i, &r) in req.iter().enumerate() {
+        let wins = aig.and(r, !taken);
+        let this = words::constant_word(i as u64, idx_bits);
+        index = words::mux_word(&mut aig, wins, &this, &index);
+        taken = aig.or(taken, r);
+    }
+    for (i, &b) in index.iter().enumerate() {
+        aig.add_output(format!("i{i}"), b);
+    }
+    aig.add_output("valid", taken);
+    aig
+}
+
+/// `arbiter{n}`: combinational rotating-priority arbiter (`n` request lines
+/// plus `ceil(log2 n)` pointer bits in, `n` one-hot grant lines out).
+///
+/// Grants the first active request at or after the pointer position — the
+/// combinational core of a round-robin arbiter, standing in for the EPFL
+/// `arbiter`.
+pub fn arbiter(n: usize) -> Aig {
+    let ptr_bits = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+    let mut aig = Aig::new(format!("arbiter{n}"));
+    let req = aig.add_inputs("r", n);
+    let ptr = aig.add_inputs("p", ptr_bits);
+
+    // at_or_after[i] = 1 iff i >= ptr (unsigned compare against constant i).
+    let mut grants = vec![Lit::FALSE; n];
+    // Two passes: first requests at/after the pointer, then wrap-around.
+    let mut any_high = Lit::FALSE; // some request granted in the first pass
+    let mut taken_high = Lit::FALSE;
+    let mut high_grants = vec![Lit::FALSE; n];
+    for i in 0..n {
+        let iconst = words::constant_word(i as u64, ptr_bits);
+        let lt = words::less_than(&mut aig, &iconst, &ptr);
+        let eligible = !lt; // i >= ptr
+        let wins_pre = aig.and(req[i], eligible);
+        let wins = aig.and(wins_pre, !taken_high);
+        high_grants[i] = wins;
+        taken_high = aig.or(taken_high, wins_pre);
+        any_high = aig.or(any_high, wins);
+    }
+    let mut taken_low = Lit::FALSE;
+    for i in 0..n {
+        let wins_pre = aig.and(req[i], !any_high);
+        let wins = aig.and(wins_pre, !taken_low);
+        grants[i] = aig.or(high_grants[i], wins);
+        taken_low = aig.or(taken_low, req[i]);
+    }
+    for (i, &g) in grants.iter().enumerate() {
+        aig.add_output(format!("g{i}"), g);
+    }
+    aig
+}
+
+/// `voter{n}`: majority voter over `n` (odd) inputs (`n` inputs, 1 output).
+///
+/// Built as a population count followed by a threshold compare — the EPFL
+/// `voter` analogue.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn voter(n: usize) -> Aig {
+    assert!(n % 2 == 1, "voter needs an odd input count");
+    let mut aig = Aig::new(format!("voter{n}"));
+    let xs = aig.add_inputs("x", n);
+    let count = popcount(&mut aig, &xs);
+    let threshold = words::constant_word((n / 2 + 1) as u64, count.len());
+    let lt = words::less_than(&mut aig, &count, &threshold);
+    aig.add_output("maj", !lt);
+    aig
+}
+
+/// Population count of a list of bits, returned as a word.
+pub fn popcount(aig: &mut Aig, bits: &[Lit]) -> Vec<Lit> {
+    match bits.len() {
+        0 => vec![Lit::FALSE],
+        1 => vec![bits[0]],
+        _ => {
+            let half = bits.len() / 2;
+            let mut left = popcount(aig, &bits[..half]);
+            let mut right = popcount(aig, &bits[half..]);
+            let width = left.len().max(right.len()) + 1;
+            left.resize(width, Lit::FALSE);
+            right.resize(width, Lit::FALSE);
+            let (sum, _carry) = words::ripple_add(aig, &left, &right, Lit::FALSE);
+            sum
+        }
+    }
+}
+
+/// `router{k}x{n}`: a `k`-port crossbar route selector: for each output
+/// port, `n`-bit data is selected from one of `k` input ports by a
+/// per-output select field (`k*n + k*ceil(log2 k)` inputs, `k*n` outputs).
+///
+/// Stands in for the EPFL `router` control benchmark.
+pub fn crossbar_router(k: usize, n: usize) -> Aig {
+    let sel_bits = usize::BITS as usize - (k.max(2) - 1).leading_zeros() as usize;
+    let mut aig = Aig::new(format!("router{k}x{n}"));
+    let ports: Vec<Vec<Lit>> = (0..k)
+        .map(|p| aig.add_inputs(&format!("in{p}_"), n))
+        .collect();
+    let selects: Vec<Vec<Lit>> = (0..k)
+        .map(|p| aig.add_inputs(&format!("sel{p}_"), sel_bits))
+        .collect();
+    for (out_port, sel) in selects.iter().enumerate() {
+        let mut chosen = vec![Lit::FALSE; n];
+        for (in_port, data) in ports.iter().enumerate() {
+            let iconst = words::constant_word(in_port as u64, sel_bits);
+            let is_sel = words::equal(&mut aig, sel, &iconst);
+            let gated: Vec<Lit> = data.iter().map(|&d| aig.and(d, is_sel)).collect();
+            chosen = chosen
+                .iter()
+                .zip(&gated)
+                .map(|(&c, &g)| aig.or(c, g))
+                .collect();
+        }
+        for (i, &c) in chosen.iter().enumerate() {
+            aig.add_output(format!("out{out_port}_{i}"), c);
+        }
+    }
+    aig
+}
+
+/// `int2float{n}`: converts an `n`-bit unsigned integer to a tiny float
+/// format with `e` exponent bits and `m` mantissa bits (truncating) — the
+/// EPFL `int2float` analogue.
+///
+/// Zero maps to all-zero. The exponent is the leading-one position plus 1
+/// (so subnormals are not modeled), the mantissa the bits below the leading
+/// one, truncated to `m` bits.
+pub fn int_to_float(n: usize, e: usize, m: usize) -> Aig {
+    let mut aig = Aig::new(format!("int2float{n}"));
+    let x = aig.add_inputs("x", n);
+
+    let mut found = Lit::FALSE;
+    let mut exponent = words::constant_word(0, e);
+    let mut mantissa = vec![Lit::FALSE; m];
+    for i in (0..n).rev() {
+        let is_leading = aig.and(x[i], !found);
+        let exp_val = words::constant_word((i + 1) as u64, e);
+        exponent = words::mux_word(&mut aig, is_leading, &exp_val, &exponent);
+        // Mantissa: bits i-1, i-2, ... below the leading one, MSB-aligned.
+        let this_mant: Vec<Lit> = (0..m)
+            .map(|j| {
+                // mantissa bit (m-1-j) below the top: source index i-1-j.
+                let offset = j + 1;
+                if offset <= i {
+                    x[i - offset]
+                } else {
+                    Lit::FALSE
+                }
+            })
+            .rev()
+            .collect(); // LSB-first
+        mantissa = words::mux_word(&mut aig, is_leading, &this_mant, &mantissa);
+        found = aig.or(found, x[i]);
+    }
+    for (i, &b) in mantissa.iter().enumerate() {
+        aig.add_output(format!("m{i}"), b);
+    }
+    for (i, &b) in exponent.iter().enumerate() {
+        aig.add_output(format!("e{i}"), b);
+    }
+    aig
+}
+
+/// Software model of [`int_to_float`]: returns `(mantissa, exponent)`.
+pub fn int_to_float_model(x: u64, e: usize, m: usize) -> (u64, u64) {
+    if x == 0 {
+        return (0, 0);
+    }
+    let top = 63 - x.leading_zeros() as usize;
+    let exponent = ((top + 1) as u64) & ((1 << e) - 1);
+    let mut mantissa = 0u64;
+    for j in 0..m {
+        let offset = j + 1;
+        if offset <= top {
+            let bit = x >> (top - offset) & 1;
+            mantissa |= bit << (m - 1 - j);
+        }
+    }
+    (mantissa, exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(aig: &Aig, inputs: u64) -> u64 {
+        let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| inputs >> i & 1 != 0).collect();
+        aig.evaluate(&bits)
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let aig = decoder(3);
+        for s in 0..8u64 {
+            assert_eq!(eval_word(&aig, s), 1 << s);
+        }
+    }
+
+    #[test]
+    fn priority_encoder_finds_first_request() {
+        let aig = priority_encoder(5);
+        for r in 0..32u64 {
+            let out = eval_word(&aig, r);
+            let idx = out & 0b111;
+            let valid = out >> 3 & 1;
+            if r == 0 {
+                assert_eq!(valid, 0);
+            } else {
+                assert_eq!(valid, 1);
+                assert_eq!(idx, r.trailing_zeros() as u64, "r={r:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_rotating_priority() {
+        let n = 4;
+        let aig = arbiter(n);
+        for r in 0..16u64 {
+            for p in 0..4u64 {
+                let out = eval_word(&aig, r | p << n);
+                if r == 0 {
+                    assert_eq!(out, 0, "no grant without requests");
+                    continue;
+                }
+                // Expected: first active request at or after p, else wrap.
+                let mut want = None;
+                for i in p..n as u64 {
+                    if r >> i & 1 != 0 {
+                        want = Some(i);
+                        break;
+                    }
+                }
+                if want.is_none() {
+                    for i in 0..n as u64 {
+                        if r >> i & 1 != 0 {
+                            want = Some(i);
+                            break;
+                        }
+                    }
+                }
+                assert_eq!(out, 1 << want.expect("some request"), "r={r:b} p={p}");
+                assert_eq!(out.count_ones(), 1, "grant is one-hot");
+            }
+        }
+    }
+
+    #[test]
+    fn voter_is_majority() {
+        let aig = voter(5);
+        for x in 0..32u64 {
+            let want = u64::from(x.count_ones() >= 3);
+            assert_eq!(eval_word(&aig, x), want, "x={x:b}");
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut aig = Aig::new("t");
+        let xs = aig.add_inputs("x", 6);
+        let count = popcount(&mut aig, &xs);
+        for (i, &c) in count.iter().enumerate() {
+            aig.add_output(format!("c{i}"), c);
+        }
+        for x in 0..64u64 {
+            assert_eq!(eval_word(&aig, x), u64::from(x.count_ones()));
+        }
+    }
+
+    #[test]
+    fn router_routes_selected_port() {
+        let aig = crossbar_router(2, 2);
+        // Inputs: in0 (2b), in1 (2b), sel0 (1b), sel1 (1b).
+        let pack = |in0: u64, in1: u64, s0: u64, s1: u64| in0 | in1 << 2 | s0 << 4 | s1 << 5;
+        for in0 in 0..4u64 {
+            for in1 in 0..4u64 {
+                for s0 in 0..2u64 {
+                    for s1 in 0..2u64 {
+                        let out = eval_word(&aig, pack(in0, in1, s0, s1));
+                        let want0 = if s0 == 0 { in0 } else { in1 };
+                        let want1 = if s1 == 0 { in0 } else { in1 };
+                        assert_eq!(out, want0 | want1 << 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int2float_matches_model() {
+        let (n, e, m) = (8, 4, 3);
+        let aig = int_to_float(n, e, m);
+        for x in 0..256u64 {
+            let out = eval_word(&aig, x);
+            let got_m = out & ((1 << m) - 1);
+            let got_e = out >> m;
+            let (wm, we) = int_to_float_model(x, e, m);
+            assert_eq!((got_m, got_e), (wm, we), "x={x}");
+        }
+    }
+}

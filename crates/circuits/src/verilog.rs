@@ -1,0 +1,131 @@
+//! Structural Verilog netlist writer.
+//!
+//! Emits a synthesizable gate-level module (`assign`-based AND/NOT forms)
+//! so approximate circuits can be handed to downstream EDA tools. Write
+//! only — round-tripping Verilog is out of scope; use BLIF or AIGER for
+//! interchange.
+
+use alsrac_aig::{Aig, Node, NodeId};
+
+/// Serializes the graph as a structural Verilog module.
+///
+/// Inputs and outputs keep their names (sanitized to identifier
+/// characters); internal nodes become wires `n<index>`.
+pub fn write(aig: &Aig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let module = sanitize(aig.name());
+    let inputs: Vec<String> = (0..aig.num_inputs())
+        .map(|i| sanitize(aig.input_name(i)))
+        .collect();
+    let outputs: Vec<String> = aig.outputs().iter().map(|o| sanitize(&o.name)).collect();
+
+    let _ = writeln!(out, "module {module} (");
+    let mut ports: Vec<String> = inputs.iter().map(|n| format!("  input  wire {n}")).collect();
+    ports.extend(outputs.iter().map(|n| format!("  output wire {n}")));
+    let _ = writeln!(out, "{}", ports.join(",\n"));
+    let _ = writeln!(out, ");");
+
+    let signal = |id: NodeId| -> String {
+        match aig.node(id) {
+            Node::Const => "1'b0".to_string(),
+            Node::Input { index } => sanitize(aig.input_name(*index as usize)),
+            Node::And { .. } => format!("n{}", id.index()),
+        }
+    };
+    let literal = |lit: alsrac_aig::Lit| -> String {
+        let s = signal(lit.node());
+        if lit.is_complement() {
+            if s == "1'b0" {
+                "1'b1".to_string()
+            } else {
+                format!("~{s}")
+            }
+        } else {
+            s
+        }
+    };
+
+    for id in aig.iter_ands() {
+        let _ = writeln!(out, "  wire n{};", id.index());
+    }
+    for id in aig.iter_ands() {
+        let [f0, f1] = aig.and_fanins(id);
+        let _ = writeln!(
+            out,
+            "  assign n{} = {} & {};",
+            id.index(),
+            literal(f0),
+            literal(f1)
+        );
+    }
+    for (o, output) in aig.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  assign {} = {};", outputs[o], literal(output.lit));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        cleaned.insert(0, '_');
+    }
+    cleaned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+
+    #[test]
+    fn emits_well_formed_module() {
+        let aig = arith::ripple_carry_adder(2);
+        let v = write(&aig);
+        assert!(v.starts_with("module rca2 ("));
+        assert!(v.trim_end().ends_with("endmodule"));
+        assert!(v.contains("input  wire a0"));
+        assert!(v.contains("output wire cout"));
+        // One assign per AND node plus one per output.
+        let assigns = v.matches("assign").count();
+        assert_eq!(assigns, aig.num_ands() + aig.num_outputs());
+    }
+
+    #[test]
+    fn complemented_edges_use_negation() {
+        let mut aig = alsrac_aig::Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(!a, b);
+        aig.add_output("y", !x);
+        let v = write(&aig);
+        assert!(v.contains("~a & b"));
+        assert!(v.contains("assign y = ~n"));
+    }
+
+    #[test]
+    fn constants_become_literals() {
+        let mut aig = alsrac_aig::Aig::new("t");
+        let _a = aig.add_input("a");
+        aig.add_output("zero", alsrac_aig::Lit::FALSE);
+        aig.add_output("one", alsrac_aig::Lit::TRUE);
+        let v = write(&aig);
+        assert!(v.contains("assign zero = 1'b0;"));
+        assert!(v.contains("assign one = 1'b1;"));
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        let mut aig = alsrac_aig::Aig::new("2bad name!");
+        let a = aig.add_input("in[0]");
+        aig.add_output("out.0", a);
+        let v = write(&aig);
+        assert!(v.contains("module _2bad_name_"));
+        assert!(v.contains("in_0_"));
+        assert!(v.contains("out_0"));
+    }
+}

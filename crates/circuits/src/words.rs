@@ -1,0 +1,515 @@
+//! Word-level construction helpers over AIG literals.
+//!
+//! A "word" is a `Vec<Lit>` in LSB-first order. These helpers build the
+//! datapath structures the benchmark generators are assembled from. All of
+//! them are pure netlist constructors: they only append nodes to the given
+//! graph and never declare inputs or outputs.
+
+use alsrac_aig::{Aig, Lit};
+
+/// Result of a full adder: `(sum, carry)`.
+fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let ab = aig.and(a, b);
+    let cx = aig.and(cin, axb);
+    let carry = aig.or(ab, cx);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two equal-width words, returning
+/// `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn ripple_add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (&ai, &bi) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, ai, bi, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Carry-lookahead addition with 4-bit lookahead blocks chained by their
+/// block carries, returning `(sum, carry_out)` — the classic CLA structure
+/// of the `cla32` benchmark.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn carry_lookahead_add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    const BLOCK: usize = 4;
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for start in (0..a.len()).step_by(BLOCK) {
+        let end = (start + BLOCK).min(a.len());
+        let (block_sum, block_carry) =
+            flat_lookahead_add(aig, &a[start..end], &b[start..end], carry);
+        sum.extend(block_sum);
+        carry = block_carry;
+    }
+    (sum, carry)
+}
+
+/// Fully flattened lookahead addition (all carries as two-level
+/// generate/propagate expressions). Used for the blocks of
+/// [`carry_lookahead_add`]; exponential in width, so keep operands short.
+fn flat_lookahead_add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    let n = a.len();
+    let mut g = Vec::with_capacity(n);
+    let mut p = Vec::with_capacity(n);
+    for i in 0..n {
+        g.push(aig.and(a[i], b[i]));
+        p.push(aig.xor(a[i], b[i]));
+    }
+    // carry[i] = g[i-1] | p[i-1] g[i-2] | ... | p[i-1]..p[0] cin
+    let mut carries = Vec::with_capacity(n + 1);
+    carries.push(cin);
+    for i in 1..=n {
+        let mut terms = Vec::with_capacity(i + 1);
+        for j in (0..i).rev() {
+            // g[j] & p[j+1] & ... & p[i-1]
+            let mut term = g[j];
+            for &pk in &p[j + 1..i] {
+                term = aig.and(term, pk);
+            }
+            terms.push(term);
+        }
+        let mut all_p = cin;
+        for &pk in &p[..i] {
+            all_p = aig.and(all_p, pk);
+        }
+        terms.push(all_p);
+        carries.push(aig.or_all(&terms));
+    }
+    let sum = (0..n).map(|i| aig.xor(p[i], carries[i])).collect();
+    (sum, carries[n])
+}
+
+/// Kogge–Stone parallel-prefix addition, returning `(sum, carry_out)`.
+///
+/// Mirrors the `ksa32` benchmark: log-depth prefix tree of
+/// generate/propagate pairs.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn kogge_stone_add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    let n = a.len();
+    let mut g: Vec<Lit> = Vec::with_capacity(n);
+    let mut p: Vec<Lit> = Vec::with_capacity(n);
+    let mut p0: Vec<Lit> = Vec::with_capacity(n); // original propagate (xor)
+    for i in 0..n {
+        let gi = aig.and(a[i], b[i]);
+        let pi = aig.xor(a[i], b[i]);
+        // Fold cin into position 0's generate: g0' = g0 | p0 & cin.
+        if i == 0 {
+            let pc = aig.and(pi, cin);
+            g.push(aig.or(gi, pc));
+        } else {
+            g.push(gi);
+        }
+        p.push(pi);
+        p0.push(pi);
+    }
+    let mut dist = 1;
+    while dist < n {
+        let prev_g = g.clone();
+        let prev_p = p.clone();
+        for i in dist..n {
+            let pg = aig.and(prev_p[i], prev_g[i - dist]);
+            g[i] = aig.or(prev_g[i], pg);
+            p[i] = aig.and(prev_p[i], prev_p[i - dist]);
+        }
+        dist *= 2;
+    }
+    // carry into bit i is g[i-1]; sum[i] = p0[i] ^ carry_in(i).
+    let mut sum = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = if i == 0 { cin } else { g[i - 1] };
+        sum.push(aig.xor(p0[i], c));
+    }
+    (sum, g[n - 1])
+}
+
+/// Two's-complement subtraction `a - b`, returning `(difference, borrow)`
+/// where `borrow` is 1 when `a < b` (unsigned).
+pub fn subtract(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    let (diff, carry) = ripple_add(aig, a, &nb, Lit::TRUE);
+    (diff, !carry)
+}
+
+/// Unsigned array multiplication, returning the `2n`-bit product.
+///
+/// Rows of partial products are accumulated with ripple adders — the
+/// classic array multiplier structure (the `mtp8` benchmark family).
+pub fn array_multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    // Start with row 0.
+    let mut acc: Vec<Lit> = a.iter().map(|&ai| aig.and(ai, b[0])).collect();
+    acc.resize(n + m, Lit::FALSE);
+    for (j, &bj) in b.iter().enumerate().skip(1) {
+        let row: Vec<Lit> = a.iter().map(|&ai| aig.and(ai, bj)).collect();
+        // Add `row` into acc at offset j.
+        let (sum, carry) = ripple_add(aig, &acc[j..j + n].to_vec(), &row, Lit::FALSE);
+        acc.splice(j..j + n, sum);
+        if j + n < n + m {
+            acc[j + n] = carry;
+        }
+    }
+    acc
+}
+
+/// Unsigned Wallace-tree multiplication, returning the `2n`-bit product.
+///
+/// Partial products are reduced with carry-save (3:2 compressor) layers and
+/// the final two rows are merged with a ripple adder — the `wal8` benchmark
+/// family.
+pub fn wallace_multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let width = n + m;
+    // Column-wise dots.
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let dot = aig.and(ai, bj);
+            columns[i + j].push(dot);
+        }
+    }
+    // Reduce until every column has at most 2 dots.
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<Lit>> = vec![Vec::new(); width];
+        for (col, dots) in columns.iter().enumerate() {
+            let mut k = 0;
+            while dots.len() - k >= 3 {
+                let (s, c) = full_adder(aig, dots[k], dots[k + 1], dots[k + 2]);
+                next[col].push(s);
+                if col + 1 < width {
+                    next[col + 1].push(c);
+                }
+                k += 3;
+            }
+            if dots.len() - k == 2 {
+                let s = aig.xor(dots[k], dots[k + 1]);
+                let c = aig.and(dots[k], dots[k + 1]);
+                next[col].push(s);
+                if col + 1 < width {
+                    next[col + 1].push(c);
+                }
+            } else if dots.len() - k == 1 {
+                next[col].push(dots[k]);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition over the two remaining rows.
+    let row0: Vec<Lit> = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(Lit::FALSE))
+        .collect();
+    let row1: Vec<Lit> = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(Lit::FALSE))
+        .collect();
+    let (sum, _carry) = ripple_add(aig, &row0, &row1, Lit::FALSE);
+    sum
+}
+
+/// Unsigned comparison `a < b`.
+pub fn less_than(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    let (_, borrow) = subtract(aig, a, b);
+    borrow
+}
+
+/// Word equality `a == b`.
+pub fn equal(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    let eqs: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+    aig.and_all(&eqs)
+}
+
+/// Bitwise select between two words: `if sel { t } else { e }`.
+pub fn mux_word(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    assert_eq!(t.len(), e.len(), "operand width mismatch");
+    t.iter()
+        .zip(e)
+        .map(|(&ti, &ei)| aig.mux(sel, ti, ei))
+        .collect()
+}
+
+/// Logical barrel shift left of `value` by `amount` (LSB-first amount),
+/// filling with zeros. The result has the same width as `value`.
+pub fn barrel_shift_left(aig: &mut Aig, value: &[Lit], amount: &[Lit]) -> Vec<Lit> {
+    let mut current = value.to_vec();
+    for (k, &sel) in amount.iter().enumerate() {
+        let shift = 1usize << k;
+        let shifted: Vec<Lit> = (0..current.len())
+            .map(|i| {
+                if i >= shift {
+                    current[i - shift]
+                } else {
+                    Lit::FALSE
+                }
+            })
+            .collect();
+        current = mux_word(aig, sel, &shifted, &current);
+    }
+    current
+}
+
+/// Logical barrel shift right (zero-filling).
+pub fn barrel_shift_right(aig: &mut Aig, value: &[Lit], amount: &[Lit]) -> Vec<Lit> {
+    let mut current = value.to_vec();
+    for (k, &sel) in amount.iter().enumerate() {
+        let shift = 1usize << k;
+        let shifted: Vec<Lit> = (0..current.len())
+            .map(|i| current.get(i + shift).copied().unwrap_or(Lit::FALSE))
+            .collect();
+        current = mux_word(aig, sel, &shifted, &current);
+    }
+    current
+}
+
+/// Constant word of the given width.
+pub fn constant_word(value: u64, width: usize) -> Vec<Lit> {
+    (0..width)
+        .map(|i| {
+            if value >> i & 1 != 0 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates a word-level circuit built by `build` on all pairs of
+    /// `w`-bit operands (or a sample for wide words) against `model`.
+    fn check_binop(
+        w: usize,
+        build: impl Fn(&mut Aig, &[Lit], &[Lit]) -> Vec<Lit>,
+        model: impl Fn(u64, u64) -> u64,
+        out_width: usize,
+    ) {
+        let mut aig = Aig::new("t");
+        let a = aig.add_inputs("a", w);
+        let b = aig.add_inputs("b", w);
+        let out = build(&mut aig, &a, &b);
+        assert_eq!(out.len(), out_width);
+        for (i, &o) in out.iter().enumerate() {
+            aig.add_output(format!("o{i}"), o);
+        }
+        let step = if w <= 4 { 1 } else { 37 };
+        for av in (0..1u64 << w).step_by(step) {
+            for bv in (0..1u64 << w).step_by(step) {
+                let mut bits = Vec::new();
+                for i in 0..w {
+                    bits.push(av >> i & 1 != 0);
+                }
+                for i in 0..w {
+                    bits.push(bv >> i & 1 != 0);
+                }
+                let got: u64 = aig
+                    .evaluate(&bits)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v as u64) << i)
+                    .sum();
+                assert_eq!(got, model(av, bv), "a={av} b={bv} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_add_is_addition() {
+        check_binop(
+            4,
+            |g, a, b| {
+                let (mut s, c) = ripple_add(g, a, b, Lit::FALSE);
+                s.push(c);
+                s
+            },
+            |a, b| a + b,
+            5,
+        );
+    }
+
+    #[test]
+    fn cla_is_addition() {
+        check_binop(
+            4,
+            |g, a, b| {
+                let (mut s, c) = carry_lookahead_add(g, a, b, Lit::FALSE);
+                s.push(c);
+                s
+            },
+            |a, b| a + b,
+            5,
+        );
+    }
+
+    #[test]
+    fn kogge_stone_is_addition() {
+        for w in [1, 2, 3, 4, 6] {
+            check_binop(
+                w,
+                |g, a, b| {
+                    let (mut s, c) = kogge_stone_add(g, a, b, Lit::FALSE);
+                    s.push(c);
+                    s
+                },
+                |a, b| a + b,
+                w + 1,
+            );
+        }
+    }
+
+    #[test]
+    fn adders_with_carry_in() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_inputs("a", 3);
+        let b = aig.add_inputs("b", 3);
+        let (s1, c1) = ripple_add(&mut aig, &a, &b, Lit::TRUE);
+        let (s2, c2) = carry_lookahead_add(&mut aig, &a, &b, Lit::TRUE);
+        let (s3, c3) = kogge_stone_add(&mut aig, &a, &b, Lit::TRUE);
+        for (i, &l) in s1.iter().chain(&s2).chain(&s3).enumerate() {
+            aig.add_output(format!("s{i}"), l);
+        }
+        aig.add_output("c1", c1);
+        aig.add_output("c2", c2);
+        aig.add_output("c3", c3);
+        for av in 0..8u64 {
+            for bv in 0..8u64 {
+                let want = av + bv + 1;
+                let mut bits = Vec::new();
+                for i in 0..3 {
+                    bits.push(av >> i & 1 != 0);
+                }
+                for i in 0..3 {
+                    bits.push(bv >> i & 1 != 0);
+                }
+                let out = aig.evaluate(&bits);
+                for adder in 0..3 {
+                    let mut got = 0u64;
+                    for i in 0..3 {
+                        got |= (out[adder * 3 + i] as u64) << i;
+                    }
+                    got |= (out[9 + adder] as u64) << 3;
+                    assert_eq!(got, want, "adder {adder} a={av} b={bv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_matches_two_complement() {
+        check_binop(
+            4,
+            |g, a, b| {
+                let (mut d, borrow) = subtract(g, a, b);
+                d.push(borrow);
+                d
+            },
+            |a, b| (a.wrapping_sub(b) & 0xF) | (u64::from(a < b) << 4),
+            5,
+        );
+    }
+
+    #[test]
+    fn array_multiply_is_multiplication() {
+        check_binop(4, |g, a, b| array_multiply(g, a, b), |a, b| a * b, 8);
+    }
+
+    #[test]
+    fn wallace_multiply_is_multiplication() {
+        check_binop(4, |g, a, b| wallace_multiply(g, a, b), |a, b| a * b, 8);
+        check_binop(3, |g, a, b| wallace_multiply(g, a, b), |a, b| a * b, 6);
+    }
+
+    #[test]
+    fn comparisons() {
+        check_binop(
+            3,
+            |g, a, b| {
+                let lt = less_than(g, a, b);
+                let eq = equal(g, a, b);
+                vec![lt, eq]
+            },
+            |a, b| u64::from(a < b) | (u64::from(a == b) << 1),
+            2,
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        // 4-bit value, 2-bit amount packed as a 6-bit operand space: test
+        // via dedicated circuit instead of check_binop.
+        let mut aig = Aig::new("t");
+        let v = aig.add_inputs("v", 4);
+        let s = aig.add_inputs("s", 2);
+        let left = barrel_shift_left(&mut aig, &v, &s);
+        let right = barrel_shift_right(&mut aig, &v, &s);
+        for (i, &l) in left.iter().chain(&right).enumerate() {
+            aig.add_output(format!("o{i}"), l);
+        }
+        for vv in 0..16u64 {
+            for sv in 0..4u64 {
+                let mut bits = Vec::new();
+                for i in 0..4 {
+                    bits.push(vv >> i & 1 != 0);
+                }
+                for i in 0..2 {
+                    bits.push(sv >> i & 1 != 0);
+                }
+                let out = aig.evaluate(&bits);
+                let got_l: u64 = (0..4).map(|i| (out[i] as u64) << i).sum();
+                let got_r: u64 = (0..4).map(|i| (out[4 + i] as u64) << i).sum();
+                assert_eq!(got_l, vv << sv & 0xF, "left v={vv} s={sv}");
+                assert_eq!(got_r, vv >> sv, "right v={vv} s={sv}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_word_bits() {
+        let w = constant_word(0b1010, 4);
+        assert_eq!(w, vec![Lit::FALSE, Lit::TRUE, Lit::FALSE, Lit::TRUE]);
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut aig = Aig::new("t");
+        let s = aig.add_input("s");
+        let t = aig.add_inputs("t", 2);
+        let e = aig.add_inputs("e", 2);
+        let m = mux_word(&mut aig, s, &t, &e);
+        aig.add_output("m0", m[0]);
+        aig.add_output("m1", m[1]);
+        assert_eq!(
+            aig.evaluate(&[true, true, false, false, true]),
+            vec![true, false]
+        );
+        assert_eq!(
+            aig.evaluate(&[false, true, false, false, true]),
+            vec![false, true]
+        );
+    }
+}

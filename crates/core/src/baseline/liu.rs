@@ -1,0 +1,261 @@
+//! Liu's method: stochastic approximate logic synthesis with statistical
+//! certification (the ICCAD 2017 baseline of Tables VI and VII).
+//!
+//! The original work explores the design space with Markov-chain
+//! Monte-Carlo: random local modifications are proposed, accepted with a
+//! Metropolis criterion on the area objective subject to the error
+//! constraint, and the final design is certified by simulation. This
+//! reimplementation proposes random single-signal substitutions and random
+//! approximate resubstitutions (drawn from the same LAC pool ALSRAC uses,
+//! but *sampled* rather than greedily ranked), tracks the best circuit
+//! seen, and certifies it at the end.
+
+use alsrac_aig::Aig;
+use alsrac_metrics::{measure, measure_auto, ErrorMetric};
+use alsrac_sim::{PatternBuffer, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::estimate::Estimator;
+use crate::flow::{FlowResult, IterationRecord};
+use crate::lac::{generate_lacs, LacConfig};
+use crate::FlowError;
+
+/// Parameters for [`run`].
+#[derive(Clone, Debug)]
+pub struct LiuConfig {
+    /// The constrained error metric.
+    pub metric: ErrorMetric,
+    /// The error threshold.
+    pub threshold: f64,
+    /// MCMC proposal steps.
+    pub steps: usize,
+    /// Initial Metropolis temperature (in AND-node units).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling per step.
+    pub cooling: f64,
+    /// Care-simulation rounds used when proposing resubstitution moves.
+    pub proposal_rounds: usize,
+    /// Patterns for error estimation (exhaustive under 14 inputs).
+    pub est_rounds: usize,
+    /// Patterns for the final certification measurement.
+    pub measure_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Re-optimize with the traditional script every this many accepted
+    /// moves.
+    pub optimize_period: usize,
+}
+
+impl Default for LiuConfig {
+    fn default() -> LiuConfig {
+        LiuConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.01,
+            steps: 300,
+            initial_temperature: 4.0,
+            cooling: 0.995,
+            proposal_rounds: 16,
+            est_rounds: 2048,
+            measure_rounds: 50_000,
+            seed: 1,
+            optimize_period: 10,
+        }
+    }
+}
+
+/// Runs the stochastic baseline on `original`.
+///
+/// # Errors
+///
+/// Same contract as [`crate::flow::run`].
+pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> {
+    if original.num_inputs() == 0 || original.num_outputs() == 0 {
+        return Err(FlowError::DegenerateCircuit {
+            inputs: original.num_inputs(),
+            outputs: original.num_outputs(),
+        });
+    }
+    if config.metric != ErrorMetric::ErrorRate && original.num_outputs() > 63 {
+        return Err(FlowError::MetricUnavailable {
+            reason: format!(
+                "{} needs integer-decodable outputs, circuit has {}",
+                config.metric,
+                original.num_outputs()
+            ),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let est_patterns = if original.num_inputs() <= crate::flow::EXHAUSTIVE_ESTIMATION_LIMIT {
+        PatternBuffer::exhaustive(original.num_inputs())
+    } else {
+        PatternBuffer::random(original.num_inputs(), config.est_rounds, config.seed ^ 0xE57)
+    };
+
+    let mut current = original.cleaned();
+    let mut best = current.clone();
+    let mut temperature = config.initial_temperature;
+    let mut applied = 0usize;
+    let mut history = Vec::new();
+
+    for step in 0..config.steps {
+        temperature *= config.cooling;
+        // Propose: random LACs from a fresh small care simulation.
+        let care_patterns = PatternBuffer::random(
+            current.num_inputs(),
+            config.proposal_rounds.max(1),
+            config.seed.wrapping_add(step as u64).wrapping_mul(0x9E37),
+        );
+        let care_sim = Simulation::new(&current, &care_patterns);
+        let fanouts = current.fanout_map();
+        let pool = generate_lacs(
+            &current,
+            &care_sim,
+            &care_patterns,
+            &fanouts,
+            &LacConfig::default(),
+        );
+        if pool.is_empty() {
+            continue;
+        }
+        let proposal = &pool[rng.gen_range(0..pool.len())];
+
+        // Constraint check by batch estimation against the original.
+        let estimator = Estimator::new(original, &current, &est_patterns);
+        let influence = alsrac_sim::FlipInfluence::compute(
+            &current,
+            estimator.simulation(),
+            &fanouts,
+            proposal.node.node(),
+        );
+        let m = estimator.estimate(proposal, &influence);
+        let Some(error) = m.value(config.metric) else {
+            break;
+        };
+        if error > config.threshold {
+            continue; // constraint violated: reject outright
+        }
+
+        // Metropolis on the (estimated) area change.
+        let delta = -(proposal.est_gain() as f64);
+        let accept = delta <= 0.0 || {
+            let p = (-delta / temperature.max(1e-9)).exp();
+            rng.gen_bool(p.clamp(0.0, 1.0))
+        };
+        if !accept {
+            continue;
+        }
+        current = match proposal.apply(&current) {
+            Ok(aig) => aig,
+            Err(_) => continue, // cover hashed onto its own fanout: skip
+        };
+        applied += 1;
+        if config.optimize_period > 0 && applied % config.optimize_period == 0 {
+            current = alsrac_synth::optimize(&current);
+        }
+        history.push(IterationRecord {
+            estimated_error: error,
+            ands: current.num_ands(),
+            rounds: config.proposal_rounds,
+        });
+        if current.num_ands() < best.num_ands() {
+            best = alsrac_synth::optimize(&current);
+        }
+    }
+    let final_candidate = alsrac_synth::optimize(&current);
+    if final_candidate.num_ands() < best.num_ands() {
+        best = final_candidate;
+    }
+
+    // Statistical certification of the returned design.
+    let measured = if original.num_inputs() <= alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
+        let patterns = PatternBuffer::exhaustive(original.num_inputs());
+        measure(original, &best, &patterns)?
+    } else {
+        measure_auto(original, &best, config.measure_rounds, config.seed ^ 0x3EA5)?
+    };
+    Ok(FlowResult {
+        approx: best,
+        iterations: config.steps,
+        applied,
+        measured,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_error_threshold() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(4);
+        let config = LiuConfig {
+            threshold: 0.05,
+            steps: 120,
+            ..LiuConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        assert!(
+            result.measured.error_rate <= 0.05 + 1e-12,
+            "measured {}",
+            result.measured.error_rate
+        );
+        assert!(result.approx.num_ands() <= exact.num_ands());
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        // The defining property of a stochastic method (§I): runs vary.
+        let exact = alsrac_circuits::arith::kogge_stone_adder(3);
+        let sizes: Vec<usize> = (0..4)
+            .map(|seed| {
+                let config = LiuConfig {
+                    threshold: 0.20,
+                    steps: 80,
+                    seed,
+                    ..LiuConfig::default()
+                };
+                run(&exact, &config).expect("flow").approx.num_ands()
+            })
+            .collect();
+        // Not a hard guarantee per-pair, but across four seeds at a loose
+        // threshold at least two outcomes should differ.
+        assert!(
+            sizes.windows(2).any(|w| w[0] != w[1]),
+            "all seeds identical: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(3);
+        let config = LiuConfig {
+            threshold: 0.10,
+            steps: 60,
+            seed: 9,
+            ..LiuConfig::default()
+        };
+        let a = run(&exact, &config).expect("flow");
+        let b = run(&exact, &config).expect("flow");
+        assert_eq!(a.approx.num_ands(), b.approx.num_ands());
+        assert_eq!(a.measured.error_rate, b.measured.error_rate);
+    }
+
+    #[test]
+    fn saves_area_at_loose_threshold() {
+        let exact = alsrac_circuits::arith::kogge_stone_adder(4);
+        let config = LiuConfig {
+            threshold: 0.30,
+            steps: 200,
+            ..LiuConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        assert!(
+            result.approx.num_ands() < exact.num_ands(),
+            "{} -> {}",
+            exact.num_ands(),
+            result.approx.num_ands()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Reimplementations of the methods ALSRAC is compared against in §IV.
+//!
+//! * [`su`] — the deterministic substitute-and-simplify approach of
+//!   Venkataramani et al. (SASIMI, DATE 2013) with the batch error
+//!   estimation of Su et al. (DAC 2018): each LAC substitutes a node by a
+//!   single similar signal (possibly complemented) or a constant. This is
+//!   the "Su's method" column of Tables IV and V.
+//! * [`liu`] — a stochastic ALS in the spirit of Liu and Zhang (ICCAD
+//!   2017): Markov-chain Monte-Carlo acceptance over random local changes
+//!   with statistical certification by simulation. This is the "Liu's
+//!   method" column of Tables VI and VII (the paper quotes the published
+//!   numbers; we rerun our reimplementation so both columns come from the
+//!   same substrate).
+
+pub mod liu;
+pub mod su;

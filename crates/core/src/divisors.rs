@@ -1,0 +1,214 @@
+//! Divisor-set selection (Algorithm 1 of the paper).
+//!
+//! For a node `V`, candidate divisor sets are produced by two edits of its
+//! fanin set:
+//!
+//! 1. **remove** a fanin `n` — the set `fanins(V) \ {n}`;
+//! 2. **replace** a fanin `n` with another node `u` from `V`'s TFI cone —
+//!    the set `fanins(V) \ {n} ∪ {u}`.
+//!
+//! Only TFI-cone nodes are considered because `V`'s function most likely
+//! depends on them. TFI nodes are visited in ascending logic level, as in
+//! the paper's pseudocode.
+
+use alsrac_aig::{Aig, Node, NodeId};
+
+/// Configuration for [`select_divisor_sets`].
+#[derive(Clone, Debug)]
+pub struct DivisorConfig {
+    /// Upper bound on the number of candidate sets returned per node (keeps
+    /// huge TFI cones tractable).
+    pub max_sets: usize,
+    /// Also offer the *fanin set itself* extended by one TFI node
+    /// (a mild generalization of the paper; disabled by default to match
+    /// Algorithm 1 exactly).
+    pub include_extensions: bool,
+}
+
+impl Default for DivisorConfig {
+    fn default() -> DivisorConfig {
+        DivisorConfig {
+            max_sets: 64,
+            include_extensions: false,
+        }
+    }
+}
+
+/// Computes candidate divisor sets for `node`, in Algorithm 1's order:
+/// per removed fanin, first the bare removal, then each TFI replacement in
+/// ascending level order.
+///
+/// The node itself, its fanins (for the replacement slot), and the constant
+/// node are excluded from the replacement pool. Returns an empty list for
+/// inputs and the constant.
+pub fn select_divisor_sets(aig: &Aig, node: NodeId, config: &DivisorConfig) -> Vec<Vec<NodeId>> {
+    let Node::And { f0, f1 } = *aig.node(node) else {
+        return Vec::new();
+    };
+    let fanins = [f0.node(), f1.node()];
+
+    // TFI cone sorted by ascending level (Algorithm 1, line 2).
+    let levels = aig.levels();
+    let cone = aig.tfi_cone(node);
+    let mut pool: Vec<NodeId> = cone
+        .members()
+        .iter()
+        .copied()
+        .filter(|&n| n != node && n != NodeId::CONST && !fanins.contains(&n))
+        .collect();
+    pool.sort_by_key(|n| (levels[n.index()], n.index()));
+
+    let mut sets: Vec<Vec<NodeId>> = Vec::new();
+    for &removed in &fanins {
+        let kept: Vec<NodeId> = fanins.iter().copied().filter(|&n| n != removed).collect();
+        if kept.is_empty() || kept.len() == fanins.len() {
+            continue; // duplicated fanin node: removal degenerates
+        }
+        // Removal set (Algorithm 1, lines 5-6).
+        if sets.len() >= config.max_sets {
+            return sets;
+        }
+        if !sets.contains(&kept) {
+            sets.push(kept.clone());
+        }
+        // Replacement sets (lines 7-9).
+        for &u in &pool {
+            if sets.len() >= config.max_sets {
+                return sets;
+            }
+            let mut set = kept.clone();
+            if set.contains(&u) {
+                continue;
+            }
+            set.push(u);
+            set.sort_unstable();
+            if !sets.contains(&set) {
+                sets.push(set);
+            }
+        }
+    }
+    if config.include_extensions {
+        for &u in &pool {
+            if sets.len() >= config.max_sets {
+                break;
+            }
+            let mut set = fanins.to_vec();
+            set.push(u);
+            set.sort_unstable();
+            set.dedup();
+            if set.len() == 3 && !sets.contains(&set) {
+                sets.push(set);
+            }
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// v = (a & b) & (c | d) with some depth below.
+    fn sample() -> (Aig, NodeId, Vec<NodeId>) {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let ab = aig.and(a, b);
+        let cd = aig.or(c, d);
+        let v = aig.and(ab, cd);
+        aig.add_output("v", v);
+        (
+            aig,
+            v.node(),
+            vec![a.node(), b.node(), c.node(), d.node(), ab.node(), cd.node()],
+        )
+    }
+
+    #[test]
+    fn removal_sets_come_first() {
+        let (aig, v, _) = sample();
+        let sets = select_divisor_sets(&aig, v, &DivisorConfig::default());
+        // First set: one of the fanins alone.
+        assert_eq!(sets[0].len(), 1);
+        let [f0, f1] = aig.and_fanins(v);
+        assert!(sets[0][0] == f0.node() || sets[0][0] == f1.node());
+    }
+
+    #[test]
+    fn replacement_sets_draw_from_tfi() {
+        let (aig, v, tfi_members) = sample();
+        let sets = select_divisor_sets(&aig, v, &DivisorConfig::default());
+        for set in &sets {
+            assert!(!set.contains(&v), "node must not be its own divisor");
+            for n in set {
+                assert!(tfi_members.contains(n), "{n} outside TFI");
+            }
+        }
+        // Pairs {fanin, replacement} must appear.
+        assert!(sets.iter().any(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn no_duplicate_sets() {
+        let (aig, v, _) = sample();
+        let sets = select_divisor_sets(&aig, v, &DivisorConfig::default());
+        for (i, s) in sets.iter().enumerate() {
+            for t in &sets[i + 1..] {
+                assert_ne!(s, t, "duplicate divisor set");
+            }
+        }
+    }
+
+    #[test]
+    fn max_sets_is_respected() {
+        let (aig, v, _) = sample();
+        let config = DivisorConfig {
+            max_sets: 3,
+            ..DivisorConfig::default()
+        };
+        let sets = select_divisor_sets(&aig, v, &config);
+        assert!(sets.len() <= 3);
+    }
+
+    #[test]
+    fn inputs_have_no_divisor_sets() {
+        let (aig, _, tfi) = sample();
+        assert!(select_divisor_sets(&aig, tfi[0], &DivisorConfig::default()).is_empty());
+        assert!(select_divisor_sets(&aig, NodeId::CONST, &DivisorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn extension_sets_add_a_third_divisor() {
+        let (aig, v, _) = sample();
+        let config = DivisorConfig {
+            include_extensions: true,
+            max_sets: 1000,
+            ..DivisorConfig::default()
+        };
+        let sets = select_divisor_sets(&aig, v, &config);
+        assert!(sets.iter().any(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn replacement_pool_is_level_ordered() {
+        let (aig, v, _) = sample();
+        let sets = select_divisor_sets(&aig, v, &DivisorConfig::default());
+        let levels = aig.levels();
+        // Among the 2-element sets sharing the same kept fanin, the added
+        // divisor's level must be non-decreasing.
+        let [f0, _f1] = aig.and_fanins(v);
+        let added: Vec<u32> = sets
+            .iter()
+            .filter(|s| s.len() == 2 && s.contains(&f0.node()))
+            .map(|s| {
+                let other = s.iter().find(|&&n| n != f0.node()).expect("pair");
+                levels[other.index()]
+            })
+            .collect();
+        for w in added.windows(2) {
+            assert!(w[0] <= w[1], "levels not ascending: {added:?}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the synthesis flows.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use alsrac_metrics::MetricsError;
+
+/// Errors produced by the ALSRAC and baseline flows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// The circuit has no inputs or no outputs.
+    DegenerateCircuit {
+        /// Input count.
+        inputs: usize,
+        /// Output count.
+        outputs: usize,
+    },
+    /// The requested error metric cannot be evaluated on this circuit
+    /// (distance metrics need at most 63 outputs).
+    MetricUnavailable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration parameter is out of range.
+    InvalidConfig {
+        /// Which parameter.
+        parameter: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::DegenerateCircuit { inputs, outputs } => {
+                write!(f, "degenerate circuit with {inputs} inputs, {outputs} outputs")
+            }
+            FlowError::MetricUnavailable { reason } => {
+                write!(f, "error metric unavailable: {reason}")
+            }
+            FlowError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for {parameter}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for FlowError {}
+
+impl From<MetricsError> for FlowError {
+    fn from(e: MetricsError) -> FlowError {
+        FlowError::MetricUnavailable {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlowError::InvalidConfig {
+            parameter: "threshold",
+            reason: "must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("threshold"));
+    }
+
+    #[test]
+    fn converts_metrics_errors() {
+        let m = MetricsError::TooManyOutputs { outputs: 70 };
+        let f: FlowError = m.into();
+        assert!(matches!(f, FlowError::MetricUnavailable { .. }));
+    }
+}

@@ -1,0 +1,302 @@
+//! Batch error estimation (§III-C, the scheme of Su et al. DAC 2018).
+//!
+//! Evaluating every LAC candidate by rebuilding and re-simulating the whole
+//! circuit would dominate the runtime. Instead, one base simulation of the
+//! current circuit plus one flip-influence computation per *node* suffices
+//! to evaluate every candidate at that node exactly (on the sampled
+//! patterns): a candidate changes the node's value on the lanes where its
+//! new function disagrees with the current one, and each such lane flips
+//! exactly the outputs the influence masks say it flips.
+
+use std::collections::HashMap;
+
+use alsrac_aig::{Aig, NodeId};
+use alsrac_metrics::{compare_output_words, ErrorMetric, Measurement};
+use alsrac_sim::{FlipInfluence, PatternBuffer, Simulation};
+use alsrac_truthtable::Sop;
+
+use crate::lac::Lac;
+
+/// Batch error estimator for LAC candidates on a fixed pattern set.
+///
+/// Holds the simulations of the *original* circuit (the error reference)
+/// and the *current* circuit (the one being modified) on the same
+/// patterns.
+pub struct Estimator<'a> {
+    current: &'a Aig,
+    patterns: &'a PatternBuffer,
+    sim: Simulation,
+    original_outputs: Vec<Vec<u64>>,
+    current_outputs: Vec<Vec<u64>>,
+    masks: Vec<u64>,
+}
+
+impl<'a> Estimator<'a> {
+    /// Builds an estimator by simulating both circuits on `patterns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits disagree in input or output arity.
+    pub fn new(original: &Aig, current: &'a Aig, patterns: &'a PatternBuffer) -> Estimator<'a> {
+        assert_eq!(original.num_inputs(), current.num_inputs(), "input arity");
+        assert_eq!(original.num_outputs(), current.num_outputs(), "output arity");
+        let original_sim = Simulation::new(original, patterns);
+        let sim = Simulation::new(current, patterns);
+        let original_outputs = original_sim.output_words(original);
+        let current_outputs = sim.output_words(current);
+        let masks = (0..patterns.num_words())
+            .map(|w| patterns.word_mask(w))
+            .collect();
+        Estimator {
+            current,
+            patterns,
+            sim,
+            original_outputs,
+            current_outputs,
+            masks,
+        }
+    }
+
+    /// The base simulation of the current circuit (used by the SASIMI
+    /// baseline to rank signal similarity).
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// The pattern buffer both circuits were simulated on.
+    pub fn patterns(&self) -> &PatternBuffer {
+        self.patterns
+    }
+
+    /// The error of the *current* circuit against the original (no LAC).
+    pub fn baseline(&self) -> Measurement {
+        compare_output_words(
+            &self.original_outputs,
+            &self.current_outputs,
+            &self.masks,
+            self.patterns.num_patterns(),
+        )
+    }
+
+    /// Evaluates the cover of a LAC on the divisor simulation words.
+    fn change_mask(&self, lac: &Lac) -> Vec<u64> {
+        let words = self.sim.num_words();
+        let mut new_value = vec![0u64; words];
+        sop_eval_words(
+            &lac.cover,
+            &lac.divisors,
+            &self.sim,
+            &mut new_value,
+        );
+        // The cover reproduces the signal lac.node; lanes where it
+        // disagrees with that signal are exactly the lanes where the
+        // underlying node flips (polarity cancels in the XOR).
+        (0..words)
+            .map(|w| new_value[w] ^ self.sim.lit_word(lac.node, w))
+            .collect()
+    }
+
+    /// Estimates the full error measurement of applying one LAC to the
+    /// current circuit, relative to the original circuit.
+    pub fn estimate(&self, lac: &Lac, influence: &FlipInfluence) -> Measurement {
+        debug_assert_eq!(influence.node(), lac.node.node(), "influence/LAC node mismatch");
+        let change = self.change_mask(lac);
+        let candidate_outputs = influence.apply(&self.current_outputs, &change);
+        compare_output_words(
+            &self.original_outputs,
+            &candidate_outputs,
+            &self.masks,
+            self.patterns.num_patterns(),
+        )
+    }
+
+    /// Estimates all candidates, computing each node's influence once.
+    ///
+    /// Returns the per-candidate measurements, aligned with `lacs`.
+    pub fn estimate_all(&self, lacs: &[Lac]) -> Vec<Measurement> {
+        let fanouts = self.current.fanout_map();
+        let mut influences: HashMap<NodeId, FlipInfluence> = HashMap::new();
+        lacs.iter()
+            .map(|lac| {
+                let influence = influences.entry(lac.node.node()).or_insert_with(|| {
+                    FlipInfluence::compute(self.current, &self.sim, &fanouts, lac.node.node())
+                });
+                self.estimate(lac, influence)
+            })
+            .collect()
+    }
+
+    /// Picks the index of the candidate with the smallest error under
+    /// `metric`, tie-breaking by the largest estimated node gain.
+    ///
+    /// Returns `None` when `lacs` is empty or the metric is unavailable
+    /// (distance metric on a >63-output circuit).
+    pub fn best_candidate(
+        &self,
+        lacs: &[Lac],
+        metric: ErrorMetric,
+    ) -> Option<(usize, Measurement)> {
+        self.ranked_candidates(lacs, metric)
+            .map(|ranked| ranked.into_iter().next())?
+    }
+
+    /// Ranks all candidates by (error, then largest estimated gain),
+    /// best first.
+    ///
+    /// Returns `None` when the metric is unavailable (distance metric on a
+    /// >63-output circuit).
+    pub fn ranked_candidates(
+        &self,
+        lacs: &[Lac],
+        metric: ErrorMetric,
+    ) -> Option<Vec<(usize, Measurement)>> {
+        let measurements = self.estimate_all(lacs);
+        let mut indexed: Vec<(usize, f64, isize)> = Vec::with_capacity(lacs.len());
+        for (i, m) in measurements.iter().enumerate() {
+            let value = m.value(metric)?;
+            indexed.push((i, value, lacs[i].est_gain()));
+        }
+        indexed.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.2.cmp(&a.2))
+        });
+        Some(
+            indexed
+                .into_iter()
+                .map(|(i, ..)| (i, measurements[i]))
+                .collect(),
+        )
+    }
+}
+
+/// Evaluates a cover bitwise over the simulated divisor signal words.
+fn sop_eval_words(cover: &Sop, divisors: &[alsrac_aig::Lit], sim: &Simulation, out: &mut [u64]) {
+    out.fill(0);
+    for cube in cover.cubes() {
+        for (w, slot) in out.iter_mut().enumerate() {
+            let mut term = u64::MAX;
+            for (i, &d) in divisors.iter().enumerate() {
+                let value = sim.lit_word(d, w);
+                if cube.pos >> i & 1 != 0 {
+                    term &= value;
+                } else if cube.neg >> i & 1 != 0 {
+                    term &= !value;
+                }
+            }
+            *slot |= term;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lac::{generate_lacs, LacConfig};
+
+    /// Estimated error must equal the exact error of actually applying the
+    /// LAC and re-measuring — the headline property of batch estimation.
+    #[test]
+    fn estimation_matches_direct_application() {
+        let aig = alsrac_circuits::arith::ripple_carry_adder(3);
+        let care_patterns = PatternBuffer::random(6, 4, 5);
+        let care_sim = Simulation::new(&aig, &care_patterns);
+        let fanouts = aig.fanout_map();
+        let lacs = generate_lacs(
+            &aig,
+            &care_sim,
+            &care_patterns,
+            &fanouts,
+            &LacConfig {
+                lac_limit: 2,
+                ..LacConfig::default()
+            },
+        );
+        assert!(!lacs.is_empty());
+
+        let est_patterns = PatternBuffer::exhaustive(6);
+        let estimator = Estimator::new(&aig, &aig, &est_patterns);
+        let estimates = estimator.estimate_all(&lacs);
+        for (lac, est) in lacs.iter().zip(&estimates) {
+            let applied = lac.apply(&aig).expect("no cycle");
+            let direct =
+                alsrac_metrics::measure(&aig, &applied, &est_patterns).expect("same arity");
+            assert!(
+                (est.error_rate - direct.error_rate).abs() < 1e-12,
+                "ER mismatch for {lac:?}: est {} direct {}",
+                est.error_rate,
+                direct.error_rate
+            );
+            assert_eq!(est.nmed, direct.nmed, "NMED mismatch for {lac:?}");
+            assert_eq!(est.mred, direct.mred, "MRED mismatch for {lac:?}");
+        }
+    }
+
+    #[test]
+    fn estimation_accounts_for_accumulated_error() {
+        // Current circuit already differs from the original; estimates are
+        // relative to the ORIGINAL.
+        let original = alsrac_circuits::arith::ripple_carry_adder(2);
+        let mut current = original.clone();
+        current.set_output_lit(2, alsrac_aig::Lit::FALSE); // stuck carry
+        let patterns = PatternBuffer::exhaustive(4);
+        let estimator = Estimator::new(&original, &current, &patterns);
+        let baseline = estimator.baseline();
+        assert!(baseline.error_rate > 0.0);
+    }
+
+    #[test]
+    fn best_candidate_prefers_smaller_error() {
+        let aig = alsrac_circuits::arith::kogge_stone_adder(3);
+        let care_patterns = PatternBuffer::random(6, 4, 11);
+        let care_sim = Simulation::new(&aig, &care_patterns);
+        let fanouts = aig.fanout_map();
+        let lacs = generate_lacs(
+            &aig,
+            &care_sim,
+            &care_patterns,
+            &fanouts,
+            &LacConfig {
+                lac_limit: 3,
+                ..LacConfig::default()
+            },
+        );
+        assert!(lacs.len() >= 2);
+        let est_patterns = PatternBuffer::exhaustive(6);
+        let estimator = Estimator::new(&aig, &aig, &est_patterns);
+        let (best_idx, best_m) = estimator
+            .best_candidate(&lacs, ErrorMetric::ErrorRate)
+            .expect("candidates exist");
+        let all = estimator.estimate_all(&lacs);
+        for m in &all {
+            assert!(best_m.error_rate <= m.error_rate + 1e-12);
+        }
+        assert!(best_idx < lacs.len());
+    }
+
+    #[test]
+    fn sop_eval_words_matches_eval() {
+        use alsrac_truthtable::Cube;
+        let mut aig = alsrac_aig::Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let x = aig.and(a, b); // keep some logic alive
+        aig.add_output("y", x);
+        let patterns = PatternBuffer::exhaustive(3);
+        let sim = Simulation::new(&aig, &patterns);
+        let cover = Sop::new(vec![
+            Cube::TAUTOLOGY.with_pos(0).with_neg(1),
+            Cube::TAUTOLOGY.with_pos(2),
+        ]);
+        let divisors = vec![a, b, c];
+        let mut out = vec![0u64; sim.num_words()];
+        sop_eval_words(&cover, &divisors, &sim, &mut out);
+        for p in 0..8 {
+            let pattern = (sim.lit_bit(a, p) as usize)
+                | (sim.lit_bit(b, p) as usize) << 1
+                | (sim.lit_bit(c, p) as usize) << 2;
+            assert_eq!(out[0] >> p & 1 != 0, cover.eval(pattern), "p={p}");
+        }
+    }
+}

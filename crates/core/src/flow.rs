@@ -1,0 +1,520 @@
+//! The ALSRAC flow (Algorithm 3 of the paper).
+
+use alsrac_aig::Aig;
+use alsrac_metrics::{measure, measure_auto, ErrorMetric, Measurement};
+use alsrac_sim::{PatternBuffer, Simulation};
+
+use crate::estimate::Estimator;
+use crate::lac::{generate_lacs, LacConfig};
+use crate::FlowError;
+
+/// Parameters of the ALSRAC flow. Defaults follow the paper's §IV-A
+/// experimental setup (`N = 32`, `L = 1`, `t = 5`, `r = 0.9`), with
+/// CI-friendly estimation/measurement sample counts (the paper uses 10⁷
+/// measurement rounds on a desktop; raise `measure_rounds` to match).
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// The constrained error metric.
+    pub metric: ErrorMetric,
+    /// The error threshold `E_t`.
+    pub threshold: f64,
+    /// Initial care-simulation rounds `N`.
+    pub initial_rounds: usize,
+    /// Maximum LACs per node `L`.
+    pub lac_limit: usize,
+    /// Consecutive empty-candidate iterations before `N` shrinks (`t`).
+    pub patience: usize,
+    /// Shrink factor for `N` (`r`, in `(0, 1)`).
+    pub shrink: f64,
+    /// Patterns used for batch error estimation of candidates (exhaustive
+    /// simulation is used instead when the circuit has at most
+    /// [`EXHAUSTIVE_ESTIMATION_LIMIT`] inputs).
+    pub est_rounds: usize,
+    /// Patterns used for the final accuracy measurement (exhaustive when
+    /// the input count permits).
+    pub measure_rounds: usize,
+    /// RNG seed; every random decision derives from it.
+    pub seed: u64,
+    /// Per-input probability of being 1. `None` means uniform (the paper's
+    /// experimental setting); `Some` exercises §III-A's "user-specified
+    /// distribution" generality. Care patterns, estimation patterns, and
+    /// the final measurement all follow the distribution.
+    pub input_bias: Option<Vec<f64>>,
+    /// Hard iteration cap (safety net; the paper's loop is unbounded).
+    pub max_iterations: usize,
+    /// Run the traditional optimizer (`sweep; resyn2`) after accepted
+    /// LACs, as in Algorithm 3 line 9. Disabling trades area for speed.
+    pub optimize_after_apply: bool,
+    /// Re-optimize only every this many accepted LACs (1 = after each, the
+    /// paper's behaviour; larger values trade area for speed on big
+    /// circuits). The final result is always optimized.
+    pub optimize_period: usize,
+    /// LAC generation options (divisor selection etc.).
+    pub lac: LacConfig,
+}
+
+/// Input count at or below which candidate estimation uses exhaustive
+/// patterns (making the flow deterministic given the seed).
+pub const EXHAUSTIVE_ESTIMATION_LIMIT: usize = 14;
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.01,
+            initial_rounds: 32,
+            lac_limit: 1,
+            patience: 5,
+            shrink: 0.9,
+            est_rounds: 2048,
+            measure_rounds: 50_000,
+            seed: 1,
+            input_bias: None,
+            max_iterations: 10_000,
+            optimize_after_apply: true,
+            optimize_period: 1,
+            lac: LacConfig::default(),
+        }
+    }
+}
+
+impl FlowConfig {
+    fn validate(&self) -> Result<(), FlowError> {
+        if !(self.threshold > 0.0) {
+            return Err(FlowError::InvalidConfig {
+                parameter: "threshold",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if !(self.shrink > 0.0 && self.shrink < 1.0) {
+            return Err(FlowError::InvalidConfig {
+                parameter: "shrink",
+                reason: format!("must be in (0, 1), got {}", self.shrink),
+            });
+        }
+        if self.initial_rounds == 0 {
+            return Err(FlowError::InvalidConfig {
+                parameter: "initial_rounds",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.patience == 0 {
+            return Err(FlowError::InvalidConfig {
+                parameter: "patience",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if let Some(bias) = &self.input_bias {
+            if bias.iter().any(|p| !(0.0..=1.0).contains(p)) {
+                return Err(FlowError::InvalidConfig {
+                    parameter: "input_bias",
+                    reason: "probabilities must be in [0, 1]".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One accepted iteration of the flow.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationRecord {
+    /// Estimated error after applying the iteration's LAC.
+    pub estimated_error: f64,
+    /// AND count after applying and re-optimizing.
+    pub ands: usize,
+    /// Care-simulation rounds `N` in effect.
+    pub rounds: usize,
+}
+
+/// The result of an ALSRAC run.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The approximate circuit (optimized, not yet technology-mapped).
+    pub approx: Aig,
+    /// Total loop iterations (including candidate-less ones).
+    pub iterations: usize,
+    /// Accepted LACs.
+    pub applied: usize,
+    /// Final accuracy measurement against the original circuit.
+    pub measured: Measurement,
+    /// Per-accepted-iteration trace.
+    pub history: Vec<IterationRecord>,
+}
+
+/// Runs ALSRAC on `original` (Algorithm 3).
+///
+/// The loop: simulate `N` random patterns, generate LAC candidates from
+/// the approximate care sets, estimate every candidate's whole-circuit
+/// error with batch estimation, apply the least-error candidate if it
+/// stays within the threshold, and re-optimize with the traditional
+/// synthesis script. When no candidate exists for `t` consecutive
+/// iterations, `N` is scaled by `r`, shrinking the care sets.
+///
+/// # Errors
+///
+/// * [`FlowError::DegenerateCircuit`] for circuits without inputs or
+///   outputs;
+/// * [`FlowError::InvalidConfig`] for out-of-range parameters;
+/// * [`FlowError::MetricUnavailable`] when a distance metric is requested
+///   on a circuit with more than 63 outputs.
+pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError> {
+    config.validate()?;
+    if original.num_inputs() == 0 || original.num_outputs() == 0 {
+        return Err(FlowError::DegenerateCircuit {
+            inputs: original.num_inputs(),
+            outputs: original.num_outputs(),
+        });
+    }
+    if config.metric != ErrorMetric::ErrorRate && original.num_outputs() > 63 {
+        return Err(FlowError::MetricUnavailable {
+            reason: format!(
+                "{} needs integer-decodable outputs, circuit has {}",
+                config.metric,
+                original.num_outputs()
+            ),
+        });
+    }
+
+    let mut current = original.cleaned();
+    let mut rounds = config.initial_rounds;
+    let mut empty_streak = 0usize;
+    let mut over_streak = 0usize;
+    let mut stuck_streak = 0usize;
+    let max_rounds = config.initial_rounds * 4;
+    let mut applied = 0usize;
+    let mut history = Vec::new();
+    let mut iterations = 0usize;
+
+    let draw = |n: usize, rounds: usize, seed: u64| -> PatternBuffer {
+        match &config.input_bias {
+            Some(bias) => PatternBuffer::biased(n, rounds, bias, seed),
+            None => PatternBuffer::random(n, rounds, seed),
+        }
+    };
+    // Exhaustive estimation is only unbiased under the uniform
+    // distribution; biased flows always sample.
+    let est_patterns = if config.input_bias.is_none()
+        && original.num_inputs() <= EXHAUSTIVE_ESTIMATION_LIMIT
+    {
+        PatternBuffer::exhaustive(original.num_inputs())
+    } else {
+        draw(original.num_inputs(), config.est_rounds, config.seed ^ 0xE57)
+    };
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Fresh care patterns every iteration (Algorithm 3 line 3).
+        let care_patterns = draw(
+            current.num_inputs(),
+            rounds,
+            config.seed.wrapping_add(iterations as u64),
+        );
+        let care_sim = Simulation::new(&current, &care_patterns);
+        let fanouts = current.fanout_map();
+        let lacs = generate_lacs(&current, &care_sim, &care_patterns, &fanouts, &config.lac);
+
+        if lacs.is_empty() {
+            // Empty candidate set: the care set is too large — retry with
+            // fresh patterns, shrinking N after `t` consecutive failures
+            // (Algorithm 3 lines 3/10).
+            empty_streak += 1;
+            stuck_streak += 1;
+            if empty_streak >= config.patience {
+                let shrunk = ((rounds as f64) * config.shrink) as usize;
+                rounds = shrunk.clamp(1, rounds.saturating_sub(1).max(1));
+                empty_streak = 0;
+            }
+            // Give up once N has hit its floor and fresh pattern draws
+            // keep coming up empty — or after a long fruitless stretch
+            // regardless (shrink/grow ping-pong must not loop forever).
+            if (rounds == 1 && stuck_streak >= config.patience * 6)
+                || stuck_streak >= config.patience * 20
+            {
+                break;
+            }
+            continue;
+        }
+        empty_streak = 0;
+
+        let estimator = Estimator::new(original, &current, &est_patterns);
+        let Some(ranked) = estimator.ranked_candidates(&lacs, config.metric) else {
+            break; // metric not evaluable — cannot happen after the arity check
+        };
+        let Some((best_error, applied_aig)) = ranked.iter().find_map(|&(idx, m)| {
+            let error = m
+                .value(config.metric)
+                .expect("metric availability checked up front");
+            if error > config.threshold {
+                return Some(None); // best remaining over budget
+            }
+            // Skip size-increasing candidates: an area-minimization flow
+            // has nothing to gain from them, and on wide datapaths they
+            // can accumulate into net growth.
+            if lacs[idx].est_gain() < 0 {
+                return None;
+            }
+            // Skip the rare candidate whose materialized cover hashes onto
+            // its own fanout (would create a cycle).
+            lacs[idx].apply(&current).ok().map(|aig| Some((error, aig)))
+        }).flatten() else {
+            // The literal Algorithm 3 breaks here (line 7). On wide-input
+            // circuits the first feasible candidates can be poor while a
+            // different pattern draw — or a *larger* care set — still has
+            // in-budget candidates, so we retry instead, growing N after
+            // `t` consecutive over-budget rounds (deviation D1, DESIGN.md)
+            // and stopping only after sustained failure.
+            over_streak += 1;
+            stuck_streak += 1;
+            if over_streak >= config.patience {
+                rounds = (rounds * 2).min(max_rounds);
+                over_streak = 0;
+            }
+            // Give up once N has hit its ceiling and candidates are still
+            // over budget — or after a long fruitless stretch regardless.
+            if (rounds >= max_rounds && stuck_streak >= config.patience * 6)
+                || stuck_streak >= config.patience * 20
+            {
+                break;
+            }
+            continue;
+        };
+        current = applied_aig;
+        over_streak = 0;
+        stuck_streak = 0;
+        applied += 1;
+        if config.optimize_after_apply && applied % config.optimize_period.max(1) == 0 {
+            current = alsrac_synth::optimize(&current);
+        }
+        history.push(IterationRecord {
+            estimated_error: best_error,
+            ands: current.num_ands(),
+            rounds,
+        });
+    }
+
+    if config.optimize_after_apply && config.optimize_period > 1 {
+        current = alsrac_synth::optimize(&current);
+    }
+    let measured = if let Some(bias) = &config.input_bias {
+        let patterns = PatternBuffer::biased(
+            original.num_inputs(),
+            config.measure_rounds,
+            bias,
+            config.seed ^ 0x3EA5,
+        );
+        measure(original, &current, &patterns)?
+    } else if original.num_inputs() <= alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
+        let patterns = PatternBuffer::exhaustive(original.num_inputs());
+        measure(original, &current, &patterns)?
+    } else {
+        measure_auto(original, &current, config.measure_rounds, config.seed ^ 0x3EA5)?
+    };
+    Ok(FlowResult {
+        approx: current,
+        iterations,
+        applied,
+        measured,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_error_rate_threshold() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(4);
+        let config = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.05,
+            max_iterations: 300,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        assert!(
+            result.measured.error_rate <= 0.05 + 1e-12,
+            "measured {} > threshold",
+            result.measured.error_rate
+        );
+        assert!(result.approx.num_ands() <= exact.num_ands());
+    }
+
+    #[test]
+    fn saves_area_at_loose_threshold() {
+        let exact = alsrac_circuits::arith::kogge_stone_adder(4);
+        let config = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.30,
+            max_iterations: 400,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        assert!(
+            result.approx.num_ands() < exact.num_ands(),
+            "no savings: {} -> {}",
+            exact.num_ands(),
+            result.approx.num_ands()
+        );
+        assert!(result.applied > 0);
+    }
+
+    #[test]
+    fn nmed_constraint_is_respected() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(4);
+        let config = FlowConfig {
+            metric: ErrorMetric::Nmed,
+            threshold: 0.02,
+            max_iterations: 300,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        assert!(result.measured.nmed.expect("decodable") <= 0.02 + 1e-12);
+    }
+
+    #[test]
+    fn tighter_thresholds_keep_more_area() {
+        let exact = alsrac_circuits::arith::wallace_multiplier(3);
+        let area_at = |threshold: f64| {
+            let config = FlowConfig {
+                metric: ErrorMetric::ErrorRate,
+                threshold,
+                max_iterations: 250,
+                ..FlowConfig::default()
+            };
+            run(&exact, &config).expect("flow").approx.num_ands()
+        };
+        let tight = area_at(0.005);
+        let loose = area_at(0.25);
+        assert!(
+            loose <= tight,
+            "loose threshold produced a larger circuit: {loose} > {tight}"
+        );
+    }
+
+    #[test]
+    fn history_errors_are_monotone_enough() {
+        // Estimated error of accepted LACs never exceeds the threshold.
+        let exact = alsrac_circuits::arith::ripple_carry_adder(3);
+        let config = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.10,
+            max_iterations: 200,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        for rec in &result.history {
+            assert!(rec.estimated_error <= 0.10 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let exact = alsrac_circuits::arith::kogge_stone_adder(3);
+        let config = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.08,
+            max_iterations: 150,
+            seed: 42,
+            ..FlowConfig::default()
+        };
+        let a = run(&exact, &config).expect("flow");
+        let b = run(&exact, &config).expect("flow");
+        assert_eq!(a.approx.num_ands(), b.approx.num_ands());
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.measured.error_rate, b.measured.error_rate);
+    }
+
+    #[test]
+    fn rejects_degenerate_circuits() {
+        let aig = Aig::new("empty");
+        let err = run(&aig, &FlowConfig::default()).expect_err("degenerate");
+        assert!(matches!(err, FlowError::DegenerateCircuit { .. }));
+    }
+
+    #[test]
+    fn biased_inputs_shift_acceptable_changes() {
+        // With inputs almost always 0, errors that only show under 1s are
+        // nearly free: the flow should cut deeper than under uniform
+        // inputs for the same budget — and the (biased) measured error
+        // must still honour the threshold.
+        let exact = alsrac_circuits::arith::wallace_multiplier(3);
+        let base = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.02,
+            max_iterations: 250,
+            ..FlowConfig::default()
+        };
+        let uniform = run(&exact, &base).expect("flow");
+        let biased_cfg = FlowConfig {
+            input_bias: Some(vec![0.05; 6]),
+            ..base
+        };
+        let biased = run(&exact, &biased_cfg).expect("flow");
+        assert!(biased.measured.error_rate <= 0.02 * 1.2 + 1e-12);
+        assert!(
+            biased.approx.num_ands() <= uniform.approx.num_ands(),
+            "biased {} vs uniform {}",
+            biased.approx.num_ands(),
+            uniform.approx.num_ands()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_bias() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(2);
+        let cfg = FlowConfig {
+            input_bias: Some(vec![1.5; 4]),
+            ..FlowConfig::default()
+        };
+        let err = run(&exact, &cfg).expect_err("bad bias");
+        assert!(matches!(err, FlowError::InvalidConfig { parameter: "input_bias", .. }));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(2);
+        for (cfg, param) in [
+            (
+                FlowConfig {
+                    threshold: 0.0,
+                    ..FlowConfig::default()
+                },
+                "threshold",
+            ),
+            (
+                FlowConfig {
+                    shrink: 1.5,
+                    ..FlowConfig::default()
+                },
+                "shrink",
+            ),
+            (
+                FlowConfig {
+                    initial_rounds: 0,
+                    ..FlowConfig::default()
+                },
+                "initial_rounds",
+            ),
+        ] {
+            let err = run(&exact, &cfg).expect_err(param);
+            assert!(matches!(err, FlowError::InvalidConfig { parameter, .. } if parameter == param));
+        }
+    }
+
+    #[test]
+    fn rejects_distance_metric_on_wide_circuits() {
+        let mut aig = Aig::new("wide");
+        let a = aig.add_input("a");
+        for i in 0..70 {
+            aig.add_output(format!("y{i}"), a.complement_if(i % 2 == 0));
+        }
+        let config = FlowConfig {
+            metric: ErrorMetric::Nmed,
+            ..FlowConfig::default()
+        };
+        let err = run(&aig, &config).expect_err("too wide");
+        assert!(matches!(err, FlowError::MetricUnavailable { .. }));
+    }
+}

@@ -1,0 +1,40 @@
+//! Technology mapping for AIGs.
+//!
+//! The ALSRAC paper evaluates approximate circuits after mapping: ASIC
+//! designs with the MCNC standard-cell library (ABC `map -D`), FPGA designs
+//! as 6-input LUT networks (ABC `if -K 6`), reporting area and delay
+//! *ratios* between the approximate and the accurate circuit. This crate
+//! implements both mappers from scratch:
+//!
+//! * [`lut::map_luts`] — k-feasible-cut LUT mapping (depth-oriented with
+//!   area-flow tie-breaking); area = LUT count, delay = LUT network depth,
+//!   exactly the FPGA cost model of §IV-C;
+//! * [`cell::map_cells`] — standard-cell mapping by cut matching against an
+//!   MCNC-like gate library ([`cell::Library::mcnc`]) with full
+//!   permutation/input-phase matching and explicit inverters; area = summed
+//!   cell area, delay = critical path through cell delays, the ASIC cost
+//!   model of §IV-B.
+//!
+//! Both mappers return coverings that are checked (in tests, by
+//! property-based equivalence) to implement exactly the original function.
+//!
+//! # Example
+//!
+//! ```
+//! use alsrac_circuits::arith;
+//! use alsrac_map::{cell, lut};
+//!
+//! let aig = arith::ripple_carry_adder(8);
+//! let luts = lut::map_luts(&aig, 6);
+//! assert!(luts.num_luts() > 0);
+//!
+//! let mapping = cell::map_cells(&aig, &cell::Library::mcnc());
+//! assert!(mapping.area > 0.0);
+//! assert!(mapping.delay > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod lut;

@@ -1,0 +1,519 @@
+//! Error metrics for approximate circuits (§II-B of the ALSRAC paper).
+//!
+//! Three statistical metrics are implemented, all defined over a
+//! distribution of input patterns:
+//!
+//! * **Error rate (ER)** — the probability that the approximate output
+//!   vector differs from the accurate one in any bit;
+//! * **Normalized mean error distance (NMED)** — the mean of
+//!   `|approx - exact|` over patterns, normalized by the maximum output
+//!   value `2^O - 1`;
+//! * **Mean relative error distance (MRED)** — the mean of
+//!   `|approx - exact| / max(exact, 1)`.
+//!
+//! ER applies to any circuit; the distance metrics interpret the output
+//! vector as an unsigned integer (LSB-first output order) and therefore
+//! require at most 63 outputs.
+//!
+//! Two evaluation layers are provided: [`compare_output_words`] works on
+//! already-simulated output words (the fast path used inside the synthesis
+//! flows, fed by `alsrac-sim`'s batch estimation), and [`measure`] /
+//! [`measure_auto`] simulate two circuits from scratch (the accuracy
+//! measurement used to report results, exhaustive when the input count
+//! permits).
+//!
+//! # Example
+//!
+//! ```
+//! use alsrac_circuits::arith;
+//! use alsrac_metrics::{measure_auto, ErrorMetric};
+//!
+//! # fn main() -> Result<(), alsrac_metrics::MetricsError> {
+//! let exact = arith::ripple_carry_adder(4);
+//! let approx = exact.clone(); // no approximation yet
+//! let m = measure_auto(&exact, &approx, 10_000, 7)?;
+//! assert_eq!(m.error_rate, 0.0);
+//! assert_eq!(m.value(ErrorMetric::Nmed), Some(0.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use alsrac_aig::Aig;
+use alsrac_sim::{PatternBuffer, Simulation};
+
+/// Which error metric a flow is constrained by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorMetric {
+    /// Probability of any output bit differing.
+    ErrorRate,
+    /// Mean error distance normalized by the maximum output value.
+    Nmed,
+    /// Mean relative error distance.
+    Mred,
+}
+
+impl fmt::Display for ErrorMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorMetric::ErrorRate => write!(f, "ER"),
+            ErrorMetric::Nmed => write!(f, "NMED"),
+            ErrorMetric::Mred => write!(f, "MRED"),
+        }
+    }
+}
+
+/// Errors produced by the measurement entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The two circuits differ in input or output arity.
+    ArityMismatch {
+        /// (inputs, outputs) of the exact circuit.
+        exact: (usize, usize),
+        /// (inputs, outputs) of the approximate circuit.
+        approx: (usize, usize),
+    },
+    /// A distance metric was requested on a circuit with more than 63
+    /// outputs.
+    TooManyOutputs {
+        /// The output count.
+        outputs: usize,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::ArityMismatch { exact, approx } => write!(
+                f,
+                "circuit arity mismatch: exact {}x{}, approximate {}x{}",
+                exact.0, exact.1, approx.0, approx.1
+            ),
+            MetricsError::TooManyOutputs { outputs } => {
+                write!(f, "distance metrics limited to 63 outputs, got {outputs}")
+            }
+        }
+    }
+}
+
+impl StdError for MetricsError {}
+
+/// The result of comparing an approximate circuit against an exact one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Number of patterns evaluated.
+    pub num_patterns: usize,
+    /// Error rate over the evaluated patterns.
+    pub error_rate: f64,
+    /// NMED, when the output count permits integer decoding.
+    pub nmed: Option<f64>,
+    /// MRED, when the output count permits integer decoding.
+    pub mred: Option<f64>,
+    /// Maximum observed error distance, when decodable.
+    pub max_error_distance: Option<u64>,
+}
+
+impl Measurement {
+    /// Returns the value of the requested metric (`None` when a distance
+    /// metric is unavailable).
+    pub fn value(&self, metric: ErrorMetric) -> Option<f64> {
+        match metric {
+            ErrorMetric::ErrorRate => Some(self.error_rate),
+            ErrorMetric::Nmed => self.nmed,
+            ErrorMetric::Mred => self.mred,
+        }
+    }
+}
+
+/// Compares two sets of output words and computes all metrics.
+///
+/// `exact[po][w]` / `approx[po][w]` are packed output values;
+/// `masks[w]` selects the valid lanes of word `w` (see
+/// [`PatternBuffer::word_mask`]); `num_patterns` is the total valid-lane
+/// count.
+///
+/// Distance metrics are reported only when there are at most 63 outputs.
+///
+/// # Panics
+///
+/// Panics if the word shapes disagree.
+pub fn compare_output_words(
+    exact: &[Vec<u64>],
+    approx: &[Vec<u64>],
+    masks: &[u64],
+    num_patterns: usize,
+) -> Measurement {
+    assert_eq!(exact.len(), approx.len(), "output count mismatch");
+    let num_outputs = exact.len();
+    let num_words = masks.len();
+    if num_patterns == 0 {
+        return Measurement {
+            num_patterns: 0,
+            error_rate: 0.0,
+            nmed: Some(0.0),
+            mred: Some(0.0),
+            max_error_distance: Some(0),
+        };
+    }
+
+    // Error rate: union of bit differences across outputs.
+    let mut error_lanes = 0u64;
+    for w in 0..num_words {
+        let mut diff = 0u64;
+        for po in 0..num_outputs {
+            diff |= exact[po][w] ^ approx[po][w];
+        }
+        error_lanes += (diff & masks[w]).count_ones() as u64;
+    }
+    let error_rate = error_lanes as f64 / num_patterns as f64;
+
+    // Distance metrics: decode each lane to integers.
+    let decodable = num_outputs <= 63;
+    let (nmed, mred, max_ed) = if decodable {
+        let denom = ((1u64 << num_outputs) - 1) as f64;
+        let mut sum_ed = 0.0f64;
+        let mut sum_red = 0.0f64;
+        let mut max_ed = 0u64;
+        for w in 0..num_words {
+            let mut mask = masks[w];
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let mut y = 0u64;
+                let mut yh = 0u64;
+                for po in 0..num_outputs {
+                    y |= (exact[po][w] >> lane & 1) << po;
+                    yh |= (approx[po][w] >> lane & 1) << po;
+                }
+                let ed = y.abs_diff(yh);
+                max_ed = max_ed.max(ed);
+                sum_ed += ed as f64;
+                sum_red += ed as f64 / (y.max(1)) as f64;
+            }
+        }
+        let n = num_patterns as f64;
+        (
+            Some(sum_ed / n / denom),
+            Some(sum_red / n),
+            Some(max_ed),
+        )
+    } else {
+        (None, None, None)
+    };
+
+    Measurement {
+        num_patterns,
+        error_rate,
+        nmed,
+        mred,
+        max_error_distance: max_ed,
+    }
+}
+
+/// Measures an approximate circuit against the exact one on an explicit
+/// pattern buffer.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::ArityMismatch`] if the circuits disagree in
+/// input or output counts.
+pub fn measure(
+    exact: &Aig,
+    approx: &Aig,
+    patterns: &PatternBuffer,
+) -> Result<Measurement, MetricsError> {
+    if exact.num_inputs() != approx.num_inputs()
+        || exact.num_outputs() != approx.num_outputs()
+    {
+        return Err(MetricsError::ArityMismatch {
+            exact: (exact.num_inputs(), exact.num_outputs()),
+            approx: (approx.num_inputs(), approx.num_outputs()),
+        });
+    }
+    let sim_exact = Simulation::new(exact, patterns);
+    let sim_approx = Simulation::new(approx, patterns);
+    let masks: Vec<u64> = (0..patterns.num_words())
+        .map(|w| patterns.word_mask(w))
+        .collect();
+    Ok(compare_output_words(
+        &sim_exact.output_words(exact),
+        &sim_approx.output_words(approx),
+        &masks,
+        patterns.num_patterns(),
+    ))
+}
+
+/// Input count at or below which [`measure_auto`] evaluates exhaustively.
+pub const EXHAUSTIVE_INPUT_LIMIT: usize = 16;
+
+/// Measures with exhaustive patterns when the circuit has at most
+/// [`EXHAUSTIVE_INPUT_LIMIT`] inputs, and `monte_carlo_rounds` seeded random
+/// patterns otherwise.
+///
+/// The paper measures with 10⁷ Monte-Carlo rounds; that is a flag away
+/// (pass a larger `monte_carlo_rounds`), the default harness uses fewer for
+/// CI speed.
+///
+/// # Errors
+///
+/// Propagates [`measure`]'s arity check.
+pub fn measure_auto(
+    exact: &Aig,
+    approx: &Aig,
+    monte_carlo_rounds: usize,
+    seed: u64,
+) -> Result<Measurement, MetricsError> {
+    let patterns = if exact.num_inputs() <= EXHAUSTIVE_INPUT_LIMIT {
+        PatternBuffer::exhaustive(exact.num_inputs())
+    } else {
+        PatternBuffer::random(exact.num_inputs(), monte_carlo_rounds, seed)
+    };
+    measure(exact, approx, &patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alsrac_aig::Lit;
+
+    /// 2-bit adder and a broken variant with the MSB stuck at zero.
+    fn pair() -> (Aig, Aig) {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(2);
+        let mut approx = exact.clone();
+        // Stuck-at-0 on the carry-out (output index 2).
+        approx.set_output_lit(2, Lit::FALSE);
+        (exact, approx)
+    }
+
+    #[test]
+    fn identical_circuits_have_zero_error() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(3);
+        let m = measure_auto(&exact, &exact.clone(), 1000, 1).expect("measure");
+        assert_eq!(m.error_rate, 0.0);
+        assert_eq!(m.nmed, Some(0.0));
+        assert_eq!(m.mred, Some(0.0));
+        assert_eq!(m.max_error_distance, Some(0));
+    }
+
+    #[test]
+    fn stuck_carry_error_rate_is_exact() {
+        let (exact, approx) = pair();
+        // carry-out is 1 for 6 of 16 input pairs (a+b >= 4).
+        let m = measure_auto(&exact, &approx, 0, 0).expect("measure");
+        assert_eq!(m.num_patterns, 16);
+        assert!((m.error_rate - 6.0 / 16.0).abs() < 1e-12);
+        // ED = 4 on those 6 patterns; NMED = (6*4/16) / 7.
+        let want_nmed = (6.0 * 4.0 / 16.0) / 7.0;
+        assert!((m.nmed.expect("nmed") - want_nmed).abs() < 1e-12);
+        assert_eq!(m.max_error_distance, Some(4));
+    }
+
+    #[test]
+    fn mred_uses_relative_distance() {
+        let (exact, approx) = pair();
+        let m = measure_auto(&exact, &approx, 0, 0).expect("measure");
+        // MRED = mean over patterns of ED / max(y, 1); errors happen when
+        // true sum is 4..6 with ED 4.
+        let mut want = 0.0;
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let y = a + b;
+                if y >= 4 {
+                    want += 4.0 / y as f64;
+                }
+            }
+        }
+        want /= 16.0;
+        assert!((m.mred.expect("mred") - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_approaches_exhaustive() {
+        let (exact, approx) = pair();
+        let exhaustive = measure_auto(&exact, &approx, 0, 0).expect("measure");
+        let patterns = PatternBuffer::random(4, 20_000, 123);
+        let sampled = measure(&exact, &approx, &patterns).expect("measure");
+        assert!(
+            (sampled.error_rate - exhaustive.error_rate).abs() < 0.02,
+            "sampled {} vs exact {}",
+            sampled.error_rate,
+            exhaustive.error_rate
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let a = alsrac_circuits::arith::ripple_carry_adder(2);
+        let b = alsrac_circuits::arith::ripple_carry_adder(3);
+        let err = measure_auto(&a, &b, 100, 1).expect_err("mismatch");
+        assert!(matches!(err, MetricsError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_pattern_set_is_zero_error() {
+        let m = compare_output_words(&[vec![0]], &[vec![0]], &[0], 0);
+        assert_eq!(m.error_rate, 0.0);
+    }
+
+    #[test]
+    fn many_output_circuits_skip_distance_metrics() {
+        let mut exact = Aig::new("wide");
+        let a = exact.add_input("a");
+        for i in 0..70 {
+            exact.add_output(format!("y{i}"), if i % 2 == 0 { a } else { !a });
+        }
+        let mut approx = exact.clone();
+        approx.set_output_lit(0, Lit::FALSE);
+        let m = measure_auto(&exact, &approx, 100, 1).expect("measure");
+        assert!(m.nmed.is_none());
+        assert!(m.mred.is_none());
+        assert!(m.error_rate > 0.0);
+    }
+
+    #[test]
+    fn metric_display_names() {
+        assert_eq!(ErrorMetric::ErrorRate.to_string(), "ER");
+        assert_eq!(ErrorMetric::Nmed.to_string(), "NMED");
+        assert_eq!(ErrorMetric::Mred.to_string(), "MRED");
+    }
+
+    #[test]
+    fn word_masks_exclude_invalid_lanes() {
+        // 10 valid patterns in one word; garbage in the upper lanes must
+        // not count.
+        let exact = vec![vec![0u64]];
+        let approx = vec![vec![0xFFFF_FC00u64]]; // differences above lane 10
+        let m = compare_output_words(&exact, &approx, &[(1 << 10) - 1], 10);
+        assert_eq!(m.error_rate, 0.0);
+    }
+}
+
+/// Wilson score interval for a sampled proportion.
+///
+/// Monte-Carlo error measurement reports a point estimate; Liu's method
+/// (ICCAD 2017) *certifies* designs statistically, which needs a bound:
+/// given `successes` error patterns among `samples`, returns a confidence
+/// interval for the true error rate at the given number of standard
+/// normal deviates `z` (1.96 ≈ 95 %, 2.58 ≈ 99 %).
+///
+/// ```
+/// use alsrac_metrics::wilson_interval;
+///
+/// let (lo, hi) = wilson_interval(30, 10_000, 1.96);
+/// assert!(lo < 0.003 && 0.003 < hi);
+/// assert!(hi < 0.005); // tight at 10k samples
+/// ```
+///
+/// # Panics
+///
+/// Panics if `successes > samples` or `samples == 0`.
+pub fn wilson_interval(successes: u64, samples: u64, z: f64) -> (f64, f64) {
+    assert!(samples > 0, "need at least one sample");
+    assert!(successes <= samples, "more successes than samples");
+    let n = samples as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let radius = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - radius).max(0.0), (center + radius).min(1.0))
+}
+
+/// Upper confidence bound on the error rate of a measurement, assuming it
+/// came from `Measurement::num_patterns` independent samples.
+///
+/// Returns the measured value itself for exhaustive measurements is the
+/// caller's judgement; this function always applies the Wilson bound.
+pub fn error_rate_upper_bound(measurement: &Measurement, z: f64) -> f64 {
+    let successes = (measurement.error_rate * measurement.num_patterns as f64).round() as u64;
+    wilson_interval(successes, measurement.num_patterns.max(1) as u64, z).1
+}
+
+/// Number of Monte-Carlo samples needed so a zero-error observation
+/// certifies `true error <= threshold` at confidence `z` (rule of three
+/// generalized through the Wilson bound).
+///
+/// ```
+/// use alsrac_metrics::{samples_for_certification, wilson_interval};
+///
+/// let n = samples_for_certification(0.001, 1.96);
+/// let (_, hi) = wilson_interval(0, n, 1.96);
+/// assert!(hi <= 0.001);
+/// ```
+pub fn samples_for_certification(threshold: f64, z: f64) -> u64 {
+    assert!(threshold > 0.0, "threshold must be positive");
+    // For zero successes the Wilson upper bound is z^2/(n+z^2); solve for n.
+    let z2 = z * z;
+    (z2 * (1.0 - threshold) / threshold).ceil() as u64 + 1
+}
+
+#[cfg(test)]
+mod confidence_tests {
+    use super::*;
+
+    #[test]
+    fn wilson_contains_true_rate_on_simulated_draws() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let true_p = 0.02;
+        let mut covered = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let n = 2000u64;
+            let k = (0..n).filter(|_| rng.gen_bool(true_p)).count() as u64;
+            let (lo, hi) = wilson_interval(k, n, 1.96);
+            if lo <= true_p && true_p <= hi {
+                covered += 1;
+            }
+        }
+        // 95% nominal coverage; allow slack for simulation noise.
+        assert!(covered >= 180, "coverage {covered}/{trials}");
+    }
+
+    #[test]
+    fn wilson_edges() {
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.95 && lo < 1.0);
+        assert!(hi > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn certification_sample_count_is_sufficient_and_tightish() {
+        for threshold in [0.01, 0.001, 0.0001] {
+            let n = samples_for_certification(threshold, 1.96);
+            let (_, hi) = wilson_interval(0, n, 1.96);
+            assert!(hi <= threshold, "threshold {threshold}: bound {hi}");
+            // Not wastefully large: half the samples must NOT certify.
+            let (_, hi_half) = wilson_interval(0, n / 2, 1.96);
+            assert!(hi_half > threshold);
+        }
+    }
+
+    #[test]
+    fn upper_bound_wraps_measurement() {
+        let m = Measurement {
+            num_patterns: 10_000,
+            error_rate: 0.003,
+            nmed: None,
+            mred: None,
+            max_error_distance: None,
+        };
+        let hi = error_rate_upper_bound(&m, 1.96);
+        assert!(hi > 0.003 && hi < 0.006);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn wilson_rejects_zero_samples() {
+        wilson_interval(0, 0, 1.96);
+    }
+}

@@ -1,0 +1,37 @@
+//! SAT solving and equivalence checking for the ALSRAC reproduction.
+//!
+//! ALSRAC's selling point is being *simulation-only*: it never calls a SAT
+//! or BDD engine, unlike the exact resubstitution flows it builds on
+//! (Mishchenko et al. [14], [18]). To reproduce that comparison — and to
+//! verify our own exact transforms beyond exhaustive simulation — this
+//! crate provides:
+//!
+//! * [`Solver`] — a self-contained CDCL SAT solver (two-watched literals,
+//!   first-UIP learning, VSIDS-style activities, restarts, phase saving);
+//! * [`encode`] — Tseitin encoding of AIG cones into CNF;
+//! * [`cec`] — combinational equivalence checking via a miter
+//!   ([`cec::equivalent`]), and the SAT version of the paper's Theorem 1
+//!   feasibility check ([`cec::exact_resub_feasible`]).
+//!
+//! # Example
+//!
+//! ```
+//! use alsrac_sat::{Solver, SatResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[a.positive(), b.positive()]);
+//! solver.add_clause(&[a.negative(), b.negative()]);
+//! assert_eq!(solver.solve(), SatResult::Sat);
+//! assert_ne!(solver.model_value(a), solver.model_value(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cec;
+pub mod encode;
+mod solver;
+
+pub use solver::{SatLit, SatResult, Solver, Var};

@@ -1,0 +1,676 @@
+//! A compact CDCL SAT solver.
+//!
+//! Features: two-watched-literal propagation, first-UIP clause learning
+//! with non-chronological backtracking, VSIDS-style variable activities,
+//! geometric restarts, phase saving, and incremental solving under
+//! assumptions. Sized for the CNF instances this workspace produces
+//! (equivalence miters and resubstitution feasibility queries over a few
+//! thousand gates), not for competition inputs.
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Index into solver arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> SatLit {
+        SatLit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> SatLit {
+        SatLit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` = negated).
+    #[inline]
+    pub fn lit(self, negated: bool) -> SatLit {
+        SatLit(self.0 << 1 | negated as u32)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable plus a sign.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SatLit(u32);
+
+impl SatLit {
+    /// The variable of this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if the literal is negated.
+    #[inline]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for SatLit {
+    type Output = SatLit;
+
+    #[inline]
+    fn not(self) -> SatLit {
+        SatLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for SatLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}v{}", if self.is_negated() { "!" } else { "" }, self.0 >> 1)
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query it with
+    /// [`Solver::model_value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<SatLit>,
+}
+
+/// A CDCL SAT solver. See the [module docs](self) for the feature set.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit] = clauses currently watching `lit`.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    /// Saved phase per variable.
+    phase: Vec<u8>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Antecedent clause per variable (u32::MAX = decision/assumption).
+    reason: Vec<u32>,
+    trail: Vec<SatLit>,
+    /// Trail indices where each decision level starts.
+    trail_limits: Vec<usize>,
+    /// Next trail position to propagate.
+    propagate_head: usize,
+    activity: Vec<f64>,
+    activity_inc: f64,
+    /// Set when an empty clause was added: permanently unsatisfiable.
+    dead: bool,
+    conflicts: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_limits: Vec::new(),
+            propagate_head: 0,
+            activity: Vec::new(),
+            activity_inc: 1.0,
+            dead: false,
+            conflicts: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.phase.push(0);
+        self.level.push(0);
+        self.reason.push(u32::MAX);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    #[inline]
+    fn lit_value(&self, lit: SatLit) -> u8 {
+        match self.assign[lit.var().index()] {
+            UNASSIGNED => UNASSIGNED,
+            v => v ^ lit.is_negated() as u8,
+        }
+    }
+
+    /// Adds a clause; returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause, or a unit contradicting a prior unit).
+    ///
+    /// Must be called at decision level 0 (i.e. outside `solve`, which this
+    /// API guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
+        debug_assert!(self.trail_limits.is_empty(), "add_clause at level 0 only");
+        if self.dead {
+            return false;
+        }
+        for l in lits {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable");
+        }
+        // Normalize: drop duplicates and false literals, detect tautology.
+        let mut norm: Vec<SatLit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if self.lit_value(l) == 1 || norm.contains(&!l) {
+                return true; // satisfied or tautological
+            }
+            if self.lit_value(l) == 0 || norm.contains(&l) {
+                continue;
+            }
+            norm.push(l);
+        }
+        match norm.len() {
+            0 => {
+                self.dead = true;
+                false
+            }
+            1 => {
+                self.enqueue(norm[0], u32::MAX);
+                if self.propagate().is_some() {
+                    self.dead = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let id = self.clauses.len() as u32;
+                self.watches[norm[0].index()].push(id);
+                self.watches[norm[1].index()].push(id);
+                self.clauses.push(Clause { lits: norm });
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: SatLit, reason: u32) {
+        debug_assert_eq!(self.lit_value(lit), UNASSIGNED);
+        let v = lit.var().index();
+        self.assign[v] = !lit.is_negated() as u8;
+        self.phase[v] = self.assign[v];
+        self.level[v] = self.trail_limits.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause index if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            let false_lit = !lit; // literals watching `!lit` may now be false
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let clause_id = watch_list[i];
+                // Ensure false_lit is at position 1.
+                let (w0, w1) = {
+                    let c = &mut self.clauses[clause_id as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
+                };
+                debug_assert_eq!(w1, false_lit);
+                if self.lit_value(w0) == 1 {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Look for a replacement watch.
+                let replacement = {
+                    let c = &self.clauses[clause_id as usize];
+                    c.lits[2..]
+                        .iter()
+                        .position(|&l| self.lit_value(l) != 0)
+                        .map(|p| p + 2)
+                };
+                if let Some(p) = replacement {
+                    let c = &mut self.clauses[clause_id as usize];
+                    c.lits.swap(1, p);
+                    let new_watch = c.lits[1];
+                    self.watches[new_watch.index()].push(clause_id);
+                    watch_list.swap_remove(i);
+                    continue; // do not advance i: swapped-in element next
+                }
+                // No replacement: unit or conflict on w0.
+                match self.lit_value(w0) {
+                    UNASSIGNED => {
+                        self.enqueue(w0, clause_id);
+                        i += 1;
+                    }
+                    0 => {
+                        // Conflict: restore remaining watches and report.
+                        self.watches[false_lit.index()] = watch_list;
+                        return Some(clause_id);
+                    }
+                    _ => unreachable!("satisfied case handled above"),
+                }
+            }
+            // No clause re-watches `false_lit` while it is false, so the
+            // list we took is the complete new watch list.
+            self.watches[false_lit.index()] = watch_list;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.activity_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<SatLit>, u32) {
+        let current_level = self.trail_limits.len() as u32;
+        let mut learned: Vec<SatLit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize; // literals of current level still to resolve
+        let mut clause_id = conflict;
+        let mut trail_pos = self.trail.len();
+        let mut asserting: Option<SatLit> = None;
+
+        loop {
+            let skip_first = asserting.is_some() as usize;
+            let lits = self.clauses[clause_id as usize].lits.clone();
+            for &l in lits.iter().skip(skip_first) {
+                let v = l.var();
+                if seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                seen[v.index()] = true;
+                self.bump(v);
+                if self.level[v.index()] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var().index()] {
+                    asserting = Some(l);
+                    break;
+                }
+            }
+            let l = asserting.expect("trail contains a marked literal");
+            counter -= 1;
+            if counter == 0 {
+                learned.insert(0, !l);
+                break;
+            }
+            clause_id = self.reason[l.var().index()];
+            debug_assert_ne!(clause_id, u32::MAX, "UIP literal has a reason");
+            seen[l.var().index()] = false; // resolved away
+        }
+
+        let backtrack = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        (learned, backtrack)
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        while self.trail_limits.len() as u32 > target {
+            let limit = self.trail_limits.pop().expect("non-empty limits");
+            while self.trail.len() > limit {
+                let l = self.trail.pop().expect("trail entry");
+                self.assign[l.var().index()] = UNASSIGNED;
+                self.reason[l.var().index()] = u32::MAX;
+            }
+        }
+        self.propagate_head = self.trail.len();
+    }
+
+    fn pick_branch(&self) -> Option<SatLit> {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == UNASSIGNED {
+                let a = self.activity[v];
+                if best.is_none_or(|(ba, _)| a > ba) {
+                    best = Some((a, v));
+                }
+            }
+        }
+        best.map(|(_, v)| Var(v as u32).lit(self.phase[v] == 0))
+    }
+
+    /// Solves the formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. Learned clauses persist
+    /// across calls; assumptions do not.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[SatLit]) -> SatResult {
+        if self.dead {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.dead = true;
+            return SatResult::Unsat;
+        }
+
+        let num_assumptions = assumptions.len() as u32;
+        let mut restart_budget = 200u64;
+        let mut conflicts_here = 0u64;
+        loop {
+            // (Re-)establish assumptions after any restart/backjump above
+            // the assumption levels.
+            while (self.trail_limits.len() as u32) < num_assumptions {
+                let a = assumptions[self.trail_limits.len()];
+                match self.lit_value(a) {
+                    1 => {
+                        // Already implied; open an empty level to keep the
+                        // level-to-assumption correspondence.
+                        self.trail_limits.push(self.trail.len());
+                    }
+                    0 => return SatResult::Unsat, // conflicting assumptions
+                    _ => {
+                        self.trail_limits.push(self.trail.len());
+                        self.enqueue(a, u32::MAX);
+                    }
+                }
+                if self.propagate().is_some() {
+                    return SatResult::Unsat;
+                }
+            }
+
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.trail_limits.len() as u32 <= num_assumptions {
+                    return SatResult::Unsat;
+                }
+                let (learned, backtrack) = self.analyze(conflict);
+                let backtrack = backtrack.max(num_assumptions);
+                if backtrack >= self.trail_limits.len() as u32 {
+                    // Cannot assert below the conflict level: UNSAT under
+                    // the assumptions (all its literals are assumption-level).
+                    return SatResult::Unsat;
+                }
+                self.backtrack_to(backtrack);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    if self.lit_value(asserting) == 0 {
+                        return SatResult::Unsat;
+                    }
+                    if self.lit_value(asserting) == UNASSIGNED {
+                        self.enqueue(asserting, u32::MAX);
+                    }
+                } else {
+                    let id = self.clauses.len() as u32;
+                    self.watches[learned[0].index()].push(id);
+                    self.watches[learned[1].index()].push(id);
+                    self.clauses.push(Clause { lits: learned });
+                    if self.lit_value(asserting) == UNASSIGNED {
+                        self.enqueue(asserting, id);
+                    }
+                }
+                self.activity_inc *= 1.05;
+                if conflicts_here >= restart_budget {
+                    conflicts_here = 0;
+                    restart_budget = restart_budget * 3 / 2;
+                    self.backtrack_to(num_assumptions);
+                }
+                continue;
+            }
+
+            match self.pick_branch() {
+                None => return SatResult::Sat,
+                Some(lit) => {
+                    self.trail_limits.push(self.trail.len());
+                    self.enqueue(lit, u32::MAX);
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the model found by the last `Sat` answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last call did not return [`SatResult::Sat`] (the
+    /// variable would be unassigned).
+    pub fn model_value(&self, v: Var) -> bool {
+        match self.assign[v.index()] {
+            0 => false,
+            1 => true,
+            _ => panic!("variable {v:?} unassigned — no model available"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[v.positive()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v));
+        assert!(!s.add_clause(&[v.negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_is_sat() {
+        // x0 ^ x1 ^ x2 = 1 encoded as CNF.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        for (sa, sb, sc) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            // Forbid even-parity row (a=sa, b=sb, c=sc): the clause needs
+            // the literal that is false under that row, i.e. lit(sa).
+            s.add_clause(&[a.lit(sa), b.lit(sb), c.lit(sc)]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        let parity =
+            s.model_value(a) as u32 + s.model_value(b) as u32 + s.model_value(c) as u32;
+        assert_eq!(parity % 2, 1);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: p[i][h].
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_4_is_sat() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..4).map(|_| vars(&mut s, 4)).collect();
+        for row in &p {
+            let lits: Vec<SatLit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for h in 0..4 {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Model is a valid injection.
+        for h in 0..4 {
+            let count = (0..4).filter(|&i| s.model_value(p[i][h])).count();
+            assert!(count <= 1);
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_outcomes() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(s.solve_with_assumptions(&[a.negative()]), SatResult::Sat);
+        assert!(s.model_value(b));
+        assert_eq!(
+            s.solve_with_assumptions(&[a.negative(), b.negative()]),
+            SatResult::Unsat
+        );
+        // Solver still usable afterwards.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), a.negative()]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let num_vars = 8;
+            let num_clauses = rng.gen_range(8..40);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let brute_sat = (0..1u32 << num_vars).any(|m| {
+                clauses.iter().all(|c| {
+                    c.iter()
+                        .any(|&(v, neg)| (m >> v & 1 == 1) != neg)
+                })
+            });
+            // Solver.
+            let mut s = Solver::new();
+            let vs = vars(&mut s, num_vars);
+            let mut ok = true;
+            for c in &clauses {
+                let lits: Vec<SatLit> = c.iter().map(|&(v, neg)| vs[v].lit(neg)).collect();
+                ok &= s.add_clause(&lits);
+            }
+            let result = if !ok { SatResult::Unsat } else { s.solve() };
+            assert_eq!(
+                result,
+                if brute_sat { SatResult::Sat } else { SatResult::Unsat },
+                "seed {seed}"
+            );
+            // If SAT, the model must actually satisfy all clauses.
+            if result == SatResult::Sat {
+                for c in &clauses {
+                    assert!(c.iter().any(|&(v, neg)| s.model_value(vs[v]) != neg));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_across_solves() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        for _ in 0..5 {
+            assert_eq!(s.solve(), SatResult::Sat);
+            assert_eq!(s.solve_with_assumptions(&[a.negative()]), SatResult::Sat);
+            assert!(s.model_value(b));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Whole-graph bit-parallel simulation.
+
+use alsrac_aig::{Aig, Lit, Node, NodeId};
+
+use crate::PatternBuffer;
+
+/// The simulated values of every node of an [`Aig`] under a
+/// [`PatternBuffer`].
+///
+/// Values are stored per node in positive polarity; [`Simulation::lit_word`]
+/// applies edge complements on the fly. The layout is a flat
+/// `nodes × words` matrix for cache-friendly sweeps.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    num_words: usize,
+    num_patterns: usize,
+    /// `values[node * num_words + w]`.
+    values: Vec<u64>,
+}
+
+impl Simulation {
+    /// Simulates `aig` on `patterns` in one topological sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer's input count differs from the graph's.
+    pub fn new(aig: &Aig, patterns: &PatternBuffer) -> Simulation {
+        assert_eq!(
+            patterns.num_inputs(),
+            aig.num_inputs(),
+            "pattern buffer has {} inputs, graph has {}",
+            patterns.num_inputs(),
+            aig.num_inputs()
+        );
+        let num_words = patterns.num_words();
+        let mut values = vec![0u64; aig.num_nodes() * num_words];
+        for id in aig.iter_nodes() {
+            let base = id.index() * num_words;
+            match *aig.node(id) {
+                Node::Const => {}
+                Node::Input { index } => {
+                    values[base..base + num_words]
+                        .copy_from_slice(patterns.input_words(index as usize));
+                }
+                Node::And { f0, f1 } => {
+                    let m0 = if f0.is_complement() { u64::MAX } else { 0 };
+                    let m1 = if f1.is_complement() { u64::MAX } else { 0 };
+                    let b0 = f0.node().index() * num_words;
+                    let b1 = f1.node().index() * num_words;
+                    for w in 0..num_words {
+                        values[base + w] = (values[b0 + w] ^ m0) & (values[b1 + w] ^ m1);
+                    }
+                }
+            }
+        }
+        Simulation {
+            num_words,
+            num_patterns: patterns.num_patterns(),
+            values,
+        }
+    }
+
+    /// Number of 64-pattern words per node.
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// Number of valid patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The packed values of `node` (positive polarity).
+    pub fn node_words(&self, node: NodeId) -> &[u64] {
+        let base = node.index() * self.num_words;
+        &self.values[base..base + self.num_words]
+    }
+
+    /// Word `w` of `node` in positive polarity.
+    #[inline]
+    pub fn node_word(&self, node: NodeId, w: usize) -> u64 {
+        self.values[node.index() * self.num_words + w]
+    }
+
+    /// Word `w` of a literal, with the complement applied.
+    ///
+    /// Note the complement flips *all 64 lanes*; callers working with a
+    /// partial final word must mask with the buffer's
+    /// [`word_mask`](PatternBuffer::word_mask).
+    #[inline]
+    pub fn lit_word(&self, lit: Lit, w: usize) -> u64 {
+        let v = self.node_word(lit.node(), w);
+        if lit.is_complement() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Value of `lit` under pattern `p`.
+    pub fn lit_bit(&self, lit: Lit, p: usize) -> bool {
+        (self.lit_word(lit, p / 64) >> (p % 64)) & 1 != 0
+    }
+
+    /// Word `w` of primary output `po` of `aig` (the graph the simulation
+    /// was built from).
+    pub fn output_word(&self, aig: &Aig, po: usize, w: usize) -> u64 {
+        self.lit_word(aig.outputs()[po].lit, w)
+    }
+
+    /// Collects all output words: `result[po][w]`.
+    pub fn output_words(&self, aig: &Aig) -> Vec<Vec<u64>> {
+        (0..aig.num_outputs())
+            .map(|po| (0..self.num_words).map(|w| self.output_word(aig, po, w)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternBuffer;
+
+    fn adder_bit() -> Aig {
+        let mut aig = Aig::new("fa");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let cin = aig.add_input("cin");
+        let axb = aig.xor(a, b);
+        let sum = aig.xor(axb, cin);
+        let ab = aig.and(a, b);
+        let cx = aig.and(cin, axb);
+        let cout = aig.or(ab, cx);
+        aig.add_output("sum", sum);
+        aig.add_output("cout", cout);
+        aig
+    }
+
+    #[test]
+    fn matches_reference_evaluator_exhaustively() {
+        let aig = adder_bit();
+        let patterns = PatternBuffer::exhaustive(3);
+        let sim = Simulation::new(&aig, &patterns);
+        for p in 0..8 {
+            let bits: Vec<bool> = (0..3).map(|i| patterns.get(i, p)).collect();
+            let want = aig.evaluate(&bits);
+            for (po, &w) in want.iter().enumerate() {
+                assert_eq!(
+                    sim.lit_bit(aig.outputs()[po].lit, p),
+                    w,
+                    "pattern {p}, output {po}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_patterns() {
+        let aig = adder_bit();
+        let patterns = PatternBuffer::random(3, 200, 99);
+        let sim = Simulation::new(&aig, &patterns);
+        for p in (0..200).step_by(7) {
+            let bits: Vec<bool> = (0..3).map(|i| patterns.get(i, p)).collect();
+            let want = aig.evaluate(&bits);
+            for (po, &wv) in want.iter().enumerate() {
+                assert_eq!(sim.lit_bit(aig.outputs()[po].lit, p), wv);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_node_is_all_zero() {
+        let mut aig = Aig::new("t");
+        let _a = aig.add_input("a");
+        aig.add_output("zero", alsrac_aig::Lit::FALSE);
+        aig.add_output("one", alsrac_aig::Lit::TRUE);
+        let patterns = PatternBuffer::random(1, 64, 3);
+        let sim = Simulation::new(&aig, &patterns);
+        assert_eq!(sim.output_word(&aig, 0, 0), 0);
+        assert_eq!(sim.output_word(&aig, 1, 0), u64::MAX);
+    }
+
+    #[test]
+    fn lit_word_applies_complement() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        aig.add_output("y", !a);
+        let patterns = PatternBuffer::exhaustive(1);
+        let sim = Simulation::new(&aig, &patterns);
+        assert_eq!(sim.lit_word(a, 0) & 0b11, 0b10);
+        assert_eq!(sim.lit_word(!a, 0) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn output_words_shape() {
+        let aig = adder_bit();
+        let patterns = PatternBuffer::random(3, 130, 5);
+        let sim = Simulation::new(&aig, &patterns);
+        let outs = sim.output_words(&aig);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].len(), 3); // ceil(130/64)
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn validates_input_arity() {
+        let aig = adder_bit();
+        let patterns = PatternBuffer::random(2, 64, 1);
+        Simulation::new(&aig, &patterns);
+    }
+}

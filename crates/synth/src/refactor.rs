@@ -1,0 +1,194 @@
+//! Large-cone refactoring.
+//!
+//! Rewriting works on 4-feasible cuts; refactoring attacks larger
+//! structures: for each node whose maximum fanout-free cone (MFFC) is big
+//! enough, the whole cone is collapsed to a truth table over its leaves and
+//! re-synthesized as a minimized factored form, substituted when smaller
+//! (ABC's `refactor`).
+
+use std::collections::HashMap;
+
+use alsrac_aig::{Aig, Lit, Node, NodeId};
+use alsrac_truthtable::{cone_tt, factored_aig_cost, isop, minimize, sop_to_aig, Tt};
+
+/// Options for [`refactor`].
+#[derive(Clone, Debug)]
+pub struct RefactorConfig {
+    /// Only refactor nodes whose MFFC has at least this many nodes.
+    pub min_cone: usize,
+    /// Skip cones with more than this many leaves (truth-table width).
+    pub max_leaves: usize,
+    /// Accept replacements with zero gain.
+    pub zero_gain: bool,
+}
+
+impl Default for RefactorConfig {
+    fn default() -> RefactorConfig {
+        RefactorConfig {
+            min_cone: 3,
+            max_leaves: 10,
+            zero_gain: false,
+        }
+    }
+}
+
+/// One refactoring pass. Returns the refactored (and swept) graph; the
+/// result is functionally equivalent to the input.
+pub fn refactor(aig: &Aig, config: &RefactorConfig) -> Aig {
+    let mut work = aig.clone();
+    let fanouts = work.fanout_map();
+    // Decisions are collected first and materialized after the scan, so the
+    // fanout map and MFFC queries always see the unmodified graph.
+    let mut pending: Vec<(NodeId, alsrac_truthtable::Sop, bool, Vec<NodeId>)> = Vec::new();
+    let mut claimed = vec![false; work.num_nodes()];
+
+    // Visit large nodes first (reverse topological order) so enclosing
+    // cones get priority over their sub-cones.
+    let and_nodes: Vec<NodeId> = work.iter_ands().collect();
+    for &id in and_nodes.iter().rev() {
+        if claimed[id.index()] {
+            continue;
+        }
+        let mffc = work.mffc(id, &fanouts);
+        if mffc.len() < config.min_cone || mffc.iter().any(|n| claimed[n.index()]) {
+            continue;
+        }
+        // Leaves: fanins of MFFC members that are not themselves members.
+        let mut in_mffc = vec![false; work.num_nodes()];
+        for &n in &mffc {
+            in_mffc[n.index()] = true;
+        }
+        let mut leaves: Vec<NodeId> = Vec::new();
+        for &n in &mffc {
+            if let Node::And { f0, f1 } = *work.node(n) {
+                for fanin in [f0.node(), f1.node()] {
+                    if !in_mffc[fanin.index()]
+                        && fanin != NodeId::CONST
+                        && !leaves.contains(&fanin)
+                    {
+                        leaves.push(fanin);
+                    }
+                }
+            }
+        }
+        if leaves.len() > config.max_leaves || leaves.is_empty() {
+            continue;
+        }
+        leaves.sort_unstable();
+        let Some(tt) = cone_tt(&work, id.lit(), &leaves) else {
+            continue;
+        };
+        let n = tt.nvars();
+        let pos = minimize(&isop(&tt, &tt), &tt, &Tt::zero(n));
+        let neg_tt = tt.not();
+        let neg = minimize(&isop(&neg_tt, &neg_tt), &neg_tt, &Tt::zero(n));
+        let (cover, complemented, cost) = {
+            let pc = factored_aig_cost(&pos, n);
+            let nc = factored_aig_cost(&neg, n);
+            if nc < pc {
+                (neg, true, nc)
+            } else {
+                (pos, false, pc)
+            }
+        };
+        let gain = mffc.len() as isize - cost as isize;
+        if gain > 0 || (config.zero_gain && gain == 0) {
+            for &n in &mffc {
+                claimed[n.index()] = true;
+            }
+            pending.push((id, cover, complemented, leaves));
+        }
+    }
+
+    if pending.is_empty() {
+        return work.cleaned();
+    }
+    let mut substitutions: HashMap<NodeId, Lit> = HashMap::new();
+    for (id, cover, complemented, leaves) in pending {
+        let leaf_lits: Vec<Lit> = leaves.iter().map(|&l| l.lit()).collect();
+        let new_lit = sop_to_aig(&mut work, &cover, &leaf_lits).complement_if(complemented);
+        if new_lit.node() != id {
+            substitutions.insert(id, new_lit);
+        }
+    }
+    work.rebuilt_with_substitutions(&substitutions)
+        .expect("refactor substitutions reference strict TFI cones")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(a: &Aig, b: &Aig) {
+        let n = a.num_inputs();
+        assert_eq!(n, b.num_inputs());
+        assert!(n <= 12);
+        for p in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(a.evaluate(&bits), b.evaluate(&bits), "pattern {p:b}");
+        }
+    }
+
+    #[test]
+    fn collapses_redundant_cone() {
+        // f = (a & b) | (a & !b) == a, built wastefully.
+        let mut aig = Aig::new("waste");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let t1 = aig.and(a, b);
+        let t2 = aig.and(a, !b);
+        let f = aig.or(t1, t2);
+        let g = aig.and(f, c);
+        aig.add_output("y", g);
+        let refactored = refactor(&aig, &RefactorConfig::default());
+        assert_equivalent(&aig, &refactored);
+        assert!(
+            refactored.num_ands() < aig.num_ands(),
+            "{} -> {}",
+            aig.num_ands(),
+            refactored.num_ands()
+        );
+    }
+
+    #[test]
+    fn preserves_function_on_benchmarks() {
+        for aig in [
+            alsrac_circuits::arith::carry_lookahead_adder(4),
+            alsrac_circuits::arith::alu(3),
+            alsrac_circuits::control::voter(7),
+            alsrac_circuits::catalog::ecc_network(6, 3),
+        ] {
+            let refactored = refactor(&aig, &RefactorConfig::default());
+            assert_equivalent(&aig, &refactored);
+        }
+    }
+
+    #[test]
+    fn random_networks_survive_refactoring() {
+        for seed in 0..6 {
+            let aig = alsrac_circuits::random_logic::random_network(
+                &alsrac_circuits::random_logic::RandomNetworkConfig {
+                    num_inputs: 9,
+                    num_outputs: 3,
+                    num_gates: 70,
+                    locality: 16,
+                    seed: seed + 100,
+                },
+            );
+            let refactored = refactor(&aig, &RefactorConfig::default());
+            assert_equivalent(&aig, &refactored);
+        }
+    }
+
+    #[test]
+    fn respects_max_leaves() {
+        let aig = alsrac_circuits::arith::wallace_multiplier(3);
+        let config = RefactorConfig {
+            max_leaves: 4,
+            ..RefactorConfig::default()
+        };
+        let refactored = refactor(&aig, &config);
+        assert_equivalent(&aig, &refactored);
+    }
+}

@@ -1,0 +1,284 @@
+//! Cut-based rewriting.
+//!
+//! For every AND node, enumerate its 4-feasible cuts, derive each cut's
+//! truth table, re-synthesize the function as a minimized factored form,
+//! and substitute when the replacement is smaller than the logic it frees
+//! (the node's MFFC restricted to the cut cone). Replacement structures are
+//! memoized per truth table, playing the role of ABC's precomputed NPN
+//! library.
+
+use std::collections::HashMap;
+
+use alsrac_aig::{Aig, Lit, NodeId};
+use alsrac_truthtable::{cone_tt, factored_aig_cost, isop, minimize, sop_to_aig, Sop, Tt};
+
+/// Options for [`rewrite`].
+#[derive(Clone, Debug)]
+pub struct RewriteConfig {
+    /// Cut size (ABC uses 4).
+    pub cut_size: usize,
+    /// Cuts kept per node during enumeration.
+    pub max_cuts: usize,
+    /// Accept replacements with zero gain (ABC's `rewrite -z`); useful for
+    /// escaping local minima between passes.
+    pub zero_gain: bool,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> RewriteConfig {
+        RewriteConfig {
+            cut_size: 4,
+            max_cuts: 8,
+            zero_gain: false,
+        }
+    }
+}
+
+/// A memoized replacement recipe: the chosen cover and polarity for a truth
+/// table, plus its standalone node cost.
+struct Recipe {
+    cover: Sop,
+    complemented: bool,
+    cost: usize,
+}
+
+/// Synthesizes (and memoizes) the cheaper of `isop(f)` / `isop(!f)` as a
+/// factored cover.
+fn recipe_for<'c>(cache: &'c mut HashMap<Tt, Recipe>, tt: &Tt) -> &'c Recipe {
+    if !cache.contains_key(tt) {
+        let n = tt.nvars();
+        let pos = minimize(&isop(tt, tt), tt, &Tt::zero(n));
+        let neg_tt = tt.not();
+        let neg = minimize(&isop(&neg_tt, &neg_tt), &neg_tt, &Tt::zero(n));
+        let pos_cost = factored_aig_cost(&pos, n);
+        let neg_cost = factored_aig_cost(&neg, n);
+        let recipe = if neg_cost < pos_cost {
+            Recipe {
+                cover: neg,
+                complemented: true,
+                cost: neg_cost,
+            }
+        } else {
+            Recipe {
+                cover: pos,
+                complemented: false,
+                cost: pos_cost,
+            }
+        };
+        cache.insert(tt.clone(), recipe);
+    }
+    cache.get(tt).expect("just inserted")
+}
+
+/// One rewriting pass over the graph. Returns the rewritten (and swept)
+/// graph; the result is functionally equivalent to the input.
+pub fn rewrite(aig: &Aig, config: &RewriteConfig) -> Aig {
+    let mut work = aig.clone();
+    let cut_sets = work.enumerate_cuts(config.cut_size, config.max_cuts);
+    let fanouts = work.fanout_map();
+    let mut cache: HashMap<Tt, Recipe> = HashMap::new();
+    // Decisions are collected first and materialized after the scan, so
+    // cut/fanout/MFFC queries always see the unmodified graph.
+    let mut pending: Vec<(NodeId, Sop, bool, Vec<NodeId>)> = Vec::new();
+    // Nodes already freed by an accepted substitution this pass: their
+    // savings must not be double-counted by enclosing cones.
+    let mut claimed = vec![false; work.num_nodes()];
+
+    let and_nodes: Vec<NodeId> = work.iter_ands().collect();
+    for &id in &and_nodes {
+        if claimed[id.index()] {
+            continue;
+        }
+        let mut best: Option<(isize, Vec<NodeId>, bool, Sop)> = None;
+        for cut in cut_sets[id.index()].nontrivial() {
+            if cut.len() < 2 {
+                continue;
+            }
+            let Some(tt) = cone_tt(&work, id.lit(), cut.leaves()) else {
+                continue;
+            };
+            // Savings: interior nodes of the cone that are referenced only
+            // from inside it (the cut-local MFFC), none already claimed.
+            let Some(interior) = work.cone_interior(id, cut.leaves()) else {
+                continue;
+            };
+            let mffc = cut_local_mffc(&work, id, &interior, &fanouts);
+            if mffc.iter().any(|n| claimed[n.index()]) {
+                continue;
+            }
+            let saved = mffc.len() as isize;
+            let recipe = recipe_for(&mut cache, &tt);
+            let gain = saved - recipe.cost as isize;
+            let acceptable = gain > 0 || (config.zero_gain && gain == 0);
+            if acceptable && best.as_ref().is_none_or(|(g, ..)| gain > *g) {
+                best = Some((
+                    gain,
+                    cut.leaves().to_vec(),
+                    recipe.complemented,
+                    recipe.cover.clone(),
+                ));
+            }
+        }
+        if let Some((_gain, leaves, complemented, cover)) = best {
+            // Claim the freed nodes so overlapping cones don't recount them.
+            let interior = work
+                .cone_interior(id, &leaves)
+                .expect("cut validated above");
+            for n in cut_local_mffc(&work, id, &interior, &fanouts) {
+                claimed[n.index()] = true;
+            }
+            pending.push((id, cover, complemented, leaves));
+        }
+    }
+
+    if pending.is_empty() {
+        return work.cleaned();
+    }
+    let mut substitutions: HashMap<NodeId, Lit> = HashMap::new();
+    for (id, cover, complemented, leaves) in pending {
+        let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| n.lit()).collect();
+        let new_lit = sop_to_aig(&mut work, &cover, &leaf_lits).complement_if(complemented);
+        if new_lit.node() != id {
+            substitutions.insert(id, new_lit);
+        }
+    }
+    work.rebuilt_with_substitutions(&substitutions)
+        .expect("rewrite substitutions reference strict TFI cones")
+}
+
+/// The nodes of `interior` (a cone of `root`) that become dangling when the
+/// root is replaced: every reference to them comes from inside the cone.
+fn cut_local_mffc(
+    aig: &Aig,
+    root: NodeId,
+    interior: &[NodeId],
+    fanouts: &alsrac_aig::FanoutMap,
+) -> Vec<NodeId> {
+    let mut in_cone = vec![false; aig.num_nodes()];
+    for &n in interior {
+        in_cone[n.index()] = true;
+    }
+    // Iterate to a fixed point: a node is freed if it is the root or all of
+    // its fanouts are freed cone members (and it drives no output).
+    let mut freed = vec![false; aig.num_nodes()];
+    freed[root.index()] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &n in interior.iter().rev() {
+            if freed[n.index()] || n == root {
+                continue;
+            }
+            let all_consumers_freed = fanouts.fanouts(n).iter().all(|f| freed[f.index()])
+                && fanouts.ref_count(n)
+                    == fanouts
+                        .fanouts(n)
+                        .iter()
+                        .map(|f| {
+                            let [f0, f1] = aig.and_fanins(*f);
+                            (f0.node() == n) as u32 + (f1.node() == n) as u32
+                        })
+                        .sum::<u32>();
+            if all_consumers_freed {
+                freed[n.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    interior
+        .iter()
+        .copied()
+        .filter(|n| freed[n.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(a: &Aig, b: &Aig) {
+        let n = a.num_inputs();
+        assert_eq!(n, b.num_inputs());
+        assert!(n <= 12);
+        for p in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(a.evaluate(&bits), b.evaluate(&bits), "pattern {p:b}");
+        }
+    }
+
+    #[test]
+    fn rewrite_shrinks_redundant_xor_ladder() {
+        // xor built the wasteful way: (a|b) & !(a&b) twice over.
+        let mut aig = Aig::new("waste");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let or1 = aig.or(a, b);
+        let nand1 = !aig.and(a, b);
+        let x1 = aig.and(or1, nand1);
+        let or2 = aig.or(x1, a);
+        let nand2 = !aig.and(x1, a);
+        let x2 = aig.and(or2, nand2);
+        aig.add_output("y", x2);
+        let rewritten = rewrite(&aig, &RewriteConfig::default());
+        assert!(rewritten.num_ands() <= aig.num_ands());
+        assert_equivalent(&aig, &rewritten);
+    }
+
+    #[test]
+    fn rewrite_preserves_function_on_benchmarks() {
+        for aig in [
+            alsrac_circuits::arith::ripple_carry_adder(4),
+            alsrac_circuits::arith::alu(3),
+            alsrac_circuits::arith::wallace_multiplier(3),
+            alsrac_circuits::control::voter(7),
+        ] {
+            let rewritten = rewrite(&aig, &RewriteConfig::default());
+            assert!(
+                rewritten.num_ands() <= aig.num_ands(),
+                "{} grew: {} -> {}",
+                aig.name(),
+                aig.num_ands(),
+                rewritten.num_ands()
+            );
+            assert_equivalent(&aig, &rewritten);
+        }
+    }
+
+    #[test]
+    fn zero_gain_mode_preserves_function() {
+        let aig = alsrac_circuits::arith::kogge_stone_adder(4);
+        let config = RewriteConfig {
+            zero_gain: true,
+            ..RewriteConfig::default()
+        };
+        let rewritten = rewrite(&aig, &config);
+        assert_equivalent(&aig, &rewritten);
+        assert!(rewritten.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn random_networks_survive_rewriting() {
+        for seed in 0..6 {
+            let aig = alsrac_circuits::random_logic::random_network(
+                &alsrac_circuits::random_logic::RandomNetworkConfig {
+                    num_inputs: 8,
+                    num_outputs: 4,
+                    num_gates: 80,
+                    locality: 20,
+                    seed,
+                },
+            );
+            let rewritten = rewrite(&aig, &RewriteConfig::default());
+            assert_equivalent(&aig, &rewritten);
+        }
+    }
+
+    #[test]
+    fn rewrite_is_stable_at_fixpoint() {
+        let aig = alsrac_circuits::arith::ripple_carry_adder(4);
+        let once = rewrite(&aig, &RewriteConfig::default());
+        let twice = rewrite(&once, &RewriteConfig::default());
+        assert!(twice.num_ands() <= once.num_ands());
+        assert_equivalent(&once, &twice);
+    }
+}

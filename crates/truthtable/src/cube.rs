@@ -1,0 +1,283 @@
+//! Cubes (product terms) and sum-of-products covers.
+
+use std::fmt;
+
+use crate::Tt;
+
+/// A product term over up to 32 variables.
+///
+/// Bit `i` of `pos` means "variable `i` appears positively"; bit `i` of
+/// `neg` means it appears complemented. A variable mentioned in neither
+/// mask is absent from the product. `pos & neg == 0` always holds for cubes
+/// produced by this crate (a contradictory cube is the empty set and is
+/// never emitted).
+///
+/// ```
+/// use alsrac_truthtable::Cube;
+///
+/// let c = Cube::TAUTOLOGY.with_pos(0).with_neg(2); // x0 & !x2
+/// assert!(c.covers(0b001));
+/// assert!(!c.covers(0b101));
+/// assert_eq!(c.num_literals(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    /// Positive-literal mask.
+    pub pos: u32,
+    /// Negative-literal mask.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The empty product (constant 1).
+    pub const TAUTOLOGY: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Returns this cube with variable `var` added as a positive literal.
+    #[must_use]
+    pub fn with_pos(mut self, var: usize) -> Cube {
+        self.pos |= 1 << var;
+        self
+    }
+
+    /// Returns this cube with variable `var` added as a negative literal.
+    #[must_use]
+    pub fn with_neg(mut self, var: usize) -> Cube {
+        self.neg |= 1 << var;
+        self
+    }
+
+    /// Returns this cube with any literal of `var` removed.
+    #[must_use]
+    pub fn without(mut self, var: usize) -> Cube {
+        self.pos &= !(1 << var);
+        self.neg &= !(1 << var);
+        self
+    }
+
+    /// Number of literals in the product.
+    pub fn num_literals(self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// Returns `true` if input pattern `p` (bit `i` = variable `i`) satisfies
+    /// the product.
+    pub fn covers(self, p: usize) -> bool {
+        let p = p as u32;
+        p & self.pos == self.pos && !p & self.neg == self.neg
+    }
+
+    /// Returns `true` if every minterm of `self` is also covered by `other`
+    /// (single-cube containment).
+    pub fn is_contained_in(self, other: Cube) -> bool {
+        other.pos & !self.pos == 0 && other.neg & !self.neg == 0
+    }
+
+    /// Expands the cube to a truth table over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions a variable `>= nvars`.
+    pub fn to_tt(self, nvars: usize) -> Tt {
+        assert!(
+            (self.pos | self.neg) >> nvars == 0 || nvars >= 32,
+            "cube mentions a variable outside {nvars} vars"
+        );
+        let mut t = Tt::ones(nvars);
+        for v in 0..nvars.min(32) {
+            if self.pos >> v & 1 != 0 {
+                t = t.and(&Tt::var(v, nvars));
+            } else if self.neg >> v & 1 != 0 {
+                t = t.and(&Tt::var(v, nvars).not());
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == 0 && self.neg == 0 {
+            return write!(f, "1");
+        }
+        for v in 0..32 {
+            if self.pos >> v & 1 != 0 {
+                write!(f, "x{v}")?;
+            } else if self.neg >> v & 1 != 0 {
+                write!(f, "!x{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover: a disjunction of [`Cube`]s.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Sop {
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Creates a cover from a list of cubes.
+    pub fn new(cubes: Vec<Cube>) -> Sop {
+        Sop { cubes }
+    }
+
+    /// The empty cover (constant 0).
+    pub fn zero() -> Sop {
+        Sop { cubes: Vec::new() }
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals across all cubes (the classic SOP cost).
+    pub fn num_literals(&self) -> u32 {
+        self.cubes.iter().map(|c| c.num_literals()).sum()
+    }
+
+    /// Returns `true` if the cover is the constant-0 function.
+    pub fn is_zero(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Evaluates the cover on input pattern `p`.
+    pub fn eval(&self, p: usize) -> bool {
+        self.cubes.iter().any(|c| c.covers(p))
+    }
+
+    /// Expands the cover to a truth table over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube mentions a variable `>= nvars`.
+    pub fn to_tt(&self, nvars: usize) -> Tt {
+        let mut t = Tt::zero(nvars);
+        for c in &self.cubes {
+            t = t.or(&c.to_tt(nvars));
+        }
+        t
+    }
+}
+
+impl fmt::Debug for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Sop {
+        Sop {
+            cubes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Cube> for Sop {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tautology_covers_everything() {
+        for p in 0..16 {
+            assert!(Cube::TAUTOLOGY.covers(p));
+        }
+        assert!(Cube::TAUTOLOGY.to_tt(4).is_const1());
+    }
+
+    #[test]
+    fn literal_masks() {
+        let c = Cube::TAUTOLOGY.with_pos(1).with_neg(3);
+        assert!(c.covers(0b0010));
+        assert!(c.covers(0b0110));
+        assert!(!c.covers(0b1010)); // x3 = 1 violates !x3
+        assert!(!c.covers(0b0000)); // x1 = 0 violates x1
+        assert_eq!(c.num_literals(), 2);
+    }
+
+    #[test]
+    fn without_removes_either_polarity() {
+        let c = Cube::TAUTOLOGY.with_pos(0).with_neg(1);
+        assert_eq!(c.without(0).num_literals(), 1);
+        assert_eq!(c.without(1).num_literals(), 1);
+        assert_eq!(c.without(2), c);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::TAUTOLOGY.with_pos(0);
+        let small = big.with_neg(1);
+        assert!(small.is_contained_in(big));
+        assert!(!big.is_contained_in(small));
+        assert!(small.is_contained_in(Cube::TAUTOLOGY));
+    }
+
+    #[test]
+    fn cube_to_tt_matches_covers() {
+        let c = Cube::TAUTOLOGY.with_pos(2).with_neg(0);
+        let t = c.to_tt(4);
+        for p in 0..16 {
+            assert_eq!(t.get(p), c.covers(p));
+        }
+    }
+
+    #[test]
+    fn sop_eval_and_tt_agree() {
+        let s = Sop::new(vec![
+            Cube::TAUTOLOGY.with_pos(0).with_pos(1),
+            Cube::TAUTOLOGY.with_neg(2),
+        ]);
+        let t = s.to_tt(3);
+        for p in 0..8 {
+            assert_eq!(t.get(p), s.eval(p));
+        }
+        assert_eq!(s.num_cubes(), 2);
+        assert_eq!(s.num_literals(), 3);
+    }
+
+    #[test]
+    fn empty_sop_is_zero() {
+        let s = Sop::zero();
+        assert!(s.is_zero());
+        assert!(s.to_tt(3).is_const0());
+        assert!(!s.eval(5));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let c = Cube::TAUTOLOGY.with_pos(0).with_neg(2);
+        assert_eq!(format!("{c:?}"), "x0!x2");
+        let s = Sop::new(vec![c, Cube::TAUTOLOGY]);
+        assert_eq!(format!("{s:?}"), "x0!x2 + 1");
+        assert_eq!(format!("{:?}", Sop::zero()), "0");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: Sop = [Cube::TAUTOLOGY.with_pos(0)].into_iter().collect();
+        s.extend([Cube::TAUTOLOGY.with_neg(1)]);
+        assert_eq!(s.num_cubes(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Conversion of two-level covers into AIG nodes with quick factoring.
+//!
+//! ALSRAC materializes each accepted LAC by converting its ISOP into AIG
+//! nodes over the divisor literals (§III-B3: "the ISOP expression will be
+//! converted to some nodes in the circuit"). Plain SOP construction wastes
+//! nodes when cubes share literals, so we apply the classic *quick factor*
+//! heuristic: recursively divide the cover by its most frequent literal.
+
+use alsrac_aig::{Aig, Lit};
+
+use crate::{Cube, Sop};
+
+/// Builds `sop` into `aig` as a factored AND/OR tree over the literals in
+/// `inputs` (variable `i` of the cover maps to `inputs[i]`), returning the
+/// root literal.
+///
+/// # Panics
+///
+/// Panics if a cube references a variable `>= inputs.len()`.
+///
+/// # Example
+///
+/// ```
+/// use alsrac_aig::Aig;
+/// use alsrac_truthtable::{isop, sop_to_aig, Tt};
+///
+/// let mut aig = Aig::new("t");
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let f = Tt::var(0, 2).xor(&Tt::var(1, 2));
+/// let root = sop_to_aig(&mut aig, &isop(&f, &f), &[a, b]);
+/// aig.add_output("y", root);
+/// assert_eq!(aig.evaluate(&[true, false]), vec![true]);
+/// assert_eq!(aig.evaluate(&[true, true]), vec![false]);
+/// ```
+pub fn sop_to_aig(aig: &mut Aig, sop: &Sop, inputs: &[Lit]) -> Lit {
+    for cube in sop.cubes() {
+        let used = cube.pos | cube.neg;
+        assert!(
+            inputs.len() >= 32 || used >> inputs.len() == 0,
+            "cube {cube:?} references a variable beyond the {} inputs",
+            inputs.len()
+        );
+    }
+    build(aig, sop.cubes(), inputs)
+}
+
+/// Counts the AND nodes [`sop_to_aig`] would create for a cover over
+/// `num_inputs` fresh inputs. Used to score LAC candidates without touching
+/// the real graph.
+pub fn factored_aig_cost(sop: &Sop, num_inputs: usize) -> usize {
+    let mut scratch = Aig::new("cost");
+    let inputs = scratch.add_inputs("x", num_inputs);
+    let _ = sop_to_aig(&mut scratch, sop, &inputs);
+    scratch.num_ands()
+}
+
+fn cube_to_lits(cube: Cube, inputs: &[Lit]) -> Vec<Lit> {
+    let mut lits = Vec::with_capacity(cube.num_literals() as usize);
+    for (v, &input) in inputs.iter().enumerate() {
+        if cube.pos >> v & 1 != 0 {
+            lits.push(input);
+        } else if cube.neg >> v & 1 != 0 {
+            lits.push(!input);
+        }
+    }
+    lits
+}
+
+fn build(aig: &mut Aig, cubes: &[Cube], inputs: &[Lit]) -> Lit {
+    if cubes.is_empty() {
+        return Lit::FALSE;
+    }
+    if cubes.iter().any(|c| *c == Cube::TAUTOLOGY) {
+        return Lit::TRUE;
+    }
+    if cubes.len() == 1 {
+        let lits = cube_to_lits(cubes[0], inputs);
+        return aig.and_all(&lits);
+    }
+
+    // Most frequent literal across the cover (positive and negative
+    // occurrences counted separately).
+    let mut best: Option<(usize, bool, usize)> = None; // (var, positive, count)
+    for v in 0..inputs.len().min(32) {
+        let pos_count = cubes.iter().filter(|c| c.pos >> v & 1 != 0).count();
+        let neg_count = cubes.iter().filter(|c| c.neg >> v & 1 != 0).count();
+        for (positive, count) in [(true, pos_count), (false, neg_count)] {
+            if count > best.map_or(0, |(_, _, c)| c) {
+                best = Some((v, positive, count));
+            }
+        }
+    }
+
+    match best {
+        Some((var, positive, count)) if count > 1 => {
+            let mut quotient = Vec::new();
+            let mut remainder = Vec::new();
+            for &cube in cubes {
+                let mask = 1u32 << var;
+                let in_quotient = if positive {
+                    cube.pos & mask != 0
+                } else {
+                    cube.neg & mask != 0
+                };
+                if in_quotient {
+                    quotient.push(cube.without(var));
+                } else {
+                    remainder.push(cube);
+                }
+            }
+            let lit = inputs[var].complement_if(!positive);
+            let q = build(aig, &quotient, inputs);
+            let divided = aig.and(lit, q);
+            let r = build(aig, &remainder, inputs);
+            aig.or(divided, r)
+        }
+        _ => {
+            // No sharing: plain sum of products.
+            let products: Vec<Lit> = cubes
+                .iter()
+                .map(|&c| {
+                    let lits = cube_to_lits(c, inputs);
+                    aig.and_all(&lits)
+                })
+                .collect();
+            aig.or_all(&products)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{isop, Tt};
+
+    /// Builds the cover and compares it against the truth table on all
+    /// patterns.
+    fn check_build(f: &Tt) {
+        let n = f.nvars();
+        let cover = isop(f, f);
+        let mut aig = Aig::new("t");
+        let inputs = aig.add_inputs("x", n);
+        let root = sop_to_aig(&mut aig, &cover, &inputs);
+        aig.add_output("y", root);
+        for p in 0..f.num_patterns() {
+            let bits: Vec<bool> = (0..n).map(|i| p >> i & 1 != 0).collect();
+            assert_eq!(aig.evaluate(&bits)[0], f.get(p), "pattern {p:b}");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let mut aig = Aig::new("t");
+        let inputs = aig.add_inputs("x", 2);
+        assert_eq!(sop_to_aig(&mut aig, &Sop::zero(), &inputs), Lit::FALSE);
+        let taut = Sop::new(vec![Cube::TAUTOLOGY]);
+        assert_eq!(sop_to_aig(&mut aig, &taut, &inputs), Lit::TRUE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn exhaustive_3var_functions() {
+        for bits in 0u64..256 {
+            check_build(&Tt::from_bits(3, bits));
+        }
+    }
+
+    #[test]
+    fn sampled_5var_functions() {
+        for seed in 0u64..40 {
+            // Cheap deterministic pseudo-random tables.
+            let bits = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left((seed % 63) as u32);
+            check_build(&Tt::from_bits(5, bits));
+        }
+    }
+
+    #[test]
+    fn factoring_shares_common_literal() {
+        // x0 x1 + x0 x2 + x0 x3: unfactored needs 3 product ANDs + OR tree;
+        // factored form is x0 & (x1 + x2 + x3) = 3 ANDs total.
+        let sop = Sop::new(vec![
+            Cube::TAUTOLOGY.with_pos(0).with_pos(1),
+            Cube::TAUTOLOGY.with_pos(0).with_pos(2),
+            Cube::TAUTOLOGY.with_pos(0).with_pos(3),
+        ]);
+        assert_eq!(factored_aig_cost(&sop, 4), 3);
+    }
+
+    #[test]
+    fn cost_matches_real_build() {
+        let f = Tt::from_fn(4, |p| (p * 7) % 3 == 1);
+        let cover = isop(&f, &f);
+        let mut aig = Aig::new("t");
+        let inputs = aig.add_inputs("x", 4);
+        let before = aig.num_ands();
+        let _ = sop_to_aig(&mut aig, &cover, &inputs);
+        assert_eq!(aig.num_ands() - before, factored_aig_cost(&cover, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn rejects_out_of_range_variable() {
+        let sop = Sop::new(vec![Cube::TAUTOLOGY.with_pos(5)]);
+        let mut aig = Aig::new("t");
+        let inputs = aig.add_inputs("x", 2);
+        sop_to_aig(&mut aig, &sop, &inputs);
+    }
+}

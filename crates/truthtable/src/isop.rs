@@ -1,0 +1,221 @@
+//! Minato–Morreale irredundant sum-of-products computation.
+
+use crate::{Cube, Sop, Tt};
+
+/// Computes an irredundant sum-of-products for an incompletely specified
+/// function.
+///
+/// `lower` is the on-set (patterns that must evaluate to 1) and `upper` is
+/// the on-set plus don't-care set (patterns that may evaluate to 1);
+/// `lower ⊆ upper` must hold. The returned cover `f` satisfies
+/// `lower ⊆ f ⊆ upper`, every cube is prime with respect to the interval,
+/// and no cube can be dropped without uncovering part of `lower`.
+///
+/// This is the recursive procedure of Minato (1992) built on Morreale's
+/// theorem, the standard ISOP engine inside ABC — and the role Espresso
+/// plays in ALSRAC's LAC derivation (§III-B3 of the paper).
+///
+/// # Panics
+///
+/// Panics if the tables have different variable counts or `lower ⊈ upper`.
+///
+/// # Example
+///
+/// ```
+/// use alsrac_truthtable::{isop, Tt};
+///
+/// // XOR with no don't-cares needs two cubes.
+/// let f = Tt::var(0, 2).xor(&Tt::var(1, 2));
+/// let cover = isop(&f, &f);
+/// assert_eq!(cover.num_cubes(), 2);
+/// assert_eq!(cover.to_tt(2), f);
+/// ```
+pub fn isop(lower: &Tt, upper: &Tt) -> Sop {
+    assert_eq!(
+        lower.nvars(),
+        upper.nvars(),
+        "variable count mismatch between bounds"
+    );
+    assert!(
+        lower.and(&upper.not()).is_const0(),
+        "lower bound must be contained in upper bound"
+    );
+    let (cubes, _f) = isop_rec(lower, upper, lower.nvars());
+    Sop::new(cubes)
+}
+
+/// Recursive worker: returns the cover and the exact function it denotes.
+fn isop_rec(lower: &Tt, upper: &Tt, nvars: usize) -> (Vec<Cube>, Tt) {
+    if lower.is_const0() {
+        return (Vec::new(), Tt::zero(nvars));
+    }
+    if upper.is_const1() {
+        return (vec![Cube::TAUTOLOGY], Tt::ones(nvars));
+    }
+    // Pick the highest variable either bound depends on. Since lower != 0
+    // and upper != 1 with lower ⊆ upper, at least one such variable exists.
+    let var = (0..nvars)
+        .rev()
+        .find(|&v| lower.depends_on(v) || upper.depends_on(v))
+        .expect("non-constant interval must depend on a variable");
+
+    let l0 = lower.cofactor(var, false);
+    let l1 = lower.cofactor(var, true);
+    let u0 = upper.cofactor(var, false);
+    let u1 = upper.cofactor(var, true);
+
+    // Minterms only coverable with the literal !var / var respectively.
+    let (mut c0, f0) = isop_rec(&l0.and(&u1.not()), &u0, nvars);
+    let (mut c1, f1) = isop_rec(&l1.and(&u0.not()), &u1, nvars);
+    // What remains must be covered by cubes free of `var`.
+    let remainder = l0.and(&f0.not()).or(&l1.and(&f1.not()));
+    let (cr, fr) = isop_rec(&remainder, &u0.and(&u1), nvars);
+
+    for c in &mut c0 {
+        *c = c.with_neg(var);
+    }
+    for c in &mut c1 {
+        *c = c.with_pos(var);
+    }
+
+    let var_tt = Tt::var(var, nvars);
+    let f = var_tt
+        .not()
+        .and(&f0)
+        .or(&var_tt.and(&f1))
+        .or(&fr);
+
+    let mut cubes = c0;
+    cubes.extend(c1);
+    cubes.extend(cr);
+    (cubes, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks the interval property lower ⊆ cover ⊆ upper.
+    fn check_interval(cover: &Sop, lower: &Tt, upper: &Tt) {
+        let f = cover.to_tt(lower.nvars());
+        assert!(
+            lower.and(&f.not()).is_const0(),
+            "cover misses on-set minterms: {cover:?}"
+        );
+        assert!(
+            f.and(&upper.not()).is_const0(),
+            "cover overlaps off-set: {cover:?}"
+        );
+    }
+
+    /// Checks that no cube can be dropped (irredundancy).
+    fn check_irredundant(cover: &Sop, lower: &Tt) {
+        let n = lower.nvars();
+        for skip in 0..cover.num_cubes() {
+            let rest: Sop = cover
+                .cubes()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, c)| *c)
+                .collect();
+            assert!(
+                !lower.and(&rest.to_tt(n).not()).is_const0(),
+                "cube {skip} of {cover:?} is redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_functions() {
+        let z = Tt::zero(3);
+        let o = Tt::ones(3);
+        assert!(isop(&z, &z).is_zero());
+        let full = isop(&o, &o);
+        assert_eq!(full.num_cubes(), 1);
+        assert_eq!(full.cubes()[0], Cube::TAUTOLOGY);
+    }
+
+    #[test]
+    fn single_variable() {
+        let a = Tt::var(0, 1);
+        let cover = isop(&a, &a);
+        assert_eq!(cover.num_cubes(), 1);
+        assert_eq!(cover.cubes()[0], Cube::TAUTOLOGY.with_pos(0));
+    }
+
+    #[test]
+    fn xor_needs_two_cubes() {
+        let f = Tt::var(0, 2).xor(&Tt::var(1, 2));
+        let cover = isop(&f, &f);
+        assert_eq!(cover.num_cubes(), 2);
+        check_interval(&cover, &f, &f);
+        check_irredundant(&cover, &f);
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // on = {11}, dc = {10, 01}: a single one-literal cube (or even the
+        // tautology? no: 00 is off-set) covers it.
+        let on = Tt::from_bits(2, 0b1000);
+        let dc = Tt::from_bits(2, 0b0110);
+        let cover = isop(&on, &on.or(&dc));
+        assert_eq!(cover.num_cubes(), 1);
+        assert_eq!(cover.cubes()[0].num_literals(), 1);
+        check_interval(&cover, &on, &on.or(&dc));
+    }
+
+    #[test]
+    fn paper_example_table_ii() {
+        // ALSRAC Fig. 1 / Table II: inputs (u, z), on = {00}, off = {01, 10},
+        // dc = {11}. The ISOP should produce !u & !z (a NOR).
+        let on = Tt::from_bits(2, 0b0001);
+        let dc = Tt::from_bits(2, 0b1000);
+        let cover = isop(&on, &on.or(&dc));
+        assert_eq!(cover.num_cubes(), 1);
+        assert_eq!(cover.cubes()[0], Cube::TAUTOLOGY.with_neg(0).with_neg(1));
+    }
+
+    #[test]
+    fn exhaustive_3var_completely_specified() {
+        for bits in 0u64..256 {
+            let f = Tt::from_bits(3, bits);
+            let cover = isop(&f, &f);
+            assert_eq!(cover.to_tt(3), f, "bits={bits:08b}");
+            check_irredundant(&cover, &f);
+        }
+    }
+
+    #[test]
+    fn exhaustive_2var_with_dont_cares() {
+        for on_bits in 0u64..16 {
+            for dc_bits in 0u64..16 {
+                if on_bits & dc_bits != 0 {
+                    continue;
+                }
+                let on = Tt::from_bits(2, on_bits);
+                let dc = Tt::from_bits(2, dc_bits);
+                let upper = on.or(&dc);
+                let cover = isop(&on, &upper);
+                check_interval(&cover, &on, &upper);
+                check_irredundant(&cover, &on);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_function_covers_correctly() {
+        // 8-var majority-ish function.
+        let f = Tt::from_fn(8, |p| (p as u32).count_ones() >= 5);
+        let cover = isop(&f, &f);
+        assert_eq!(cover.to_tt(8), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "contained in upper")]
+    fn rejects_invalid_interval() {
+        let on = Tt::ones(2);
+        let upper = Tt::zero(2);
+        isop(&on, &upper);
+    }
+}

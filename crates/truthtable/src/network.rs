@@ -1,0 +1,144 @@
+//! Truth tables of AIG cones.
+//!
+//! Rewriting, refactoring, and standard-cell matching all need the local
+//! function a node computes over a chosen cut. This module evaluates a cone
+//! symbolically by assigning a projection table to each leaf and sweeping
+//! the interior.
+
+use alsrac_aig::{Aig, Lit, NodeId};
+
+use crate::Tt;
+
+/// Computes the truth table of `root` over the cut `leaves` (leaf `i`
+/// becomes variable `i`).
+///
+/// Returns `None` when `leaves` is not a valid cut of `root` (a path
+/// escapes to an input or constant outside the leaf set; the constant node
+/// *is* allowed to be reached implicitly and evaluates to 0).
+///
+/// # Panics
+///
+/// Panics if `leaves` has more than [`MAX_VARS`](crate::MAX_VARS) entries.
+///
+/// # Example
+///
+/// ```
+/// use alsrac_aig::Aig;
+/// use alsrac_truthtable::{cone_tt, Tt};
+///
+/// let mut aig = Aig::new("t");
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let x = aig.xor(a, b);
+/// let tt = cone_tt(&aig, x, &[a.node(), b.node()]).expect("valid cut");
+/// assert_eq!(tt, Tt::var(0, 2).xor(&Tt::var(1, 2)));
+/// ```
+pub fn cone_tt(aig: &Aig, root: Lit, leaves: &[NodeId]) -> Option<Tt> {
+    let nvars = leaves.len();
+    // The constant node is always an implicit leaf evaluating to 0, unless
+    // it is explicitly one of the leaves.
+    let interior = match aig.cone_interior(root.node(), leaves) {
+        Some(i) => i,
+        None => {
+            // Retry with the constant node added as an implicit leaf.
+            let mut extended: Vec<NodeId> = leaves.to_vec();
+            extended.push(NodeId::CONST);
+            aig.cone_interior(root.node(), &extended)?
+        }
+    };
+    let mut tables: Vec<Option<Tt>> = vec![None; aig.num_nodes()];
+    tables[NodeId::CONST.index()] = Some(Tt::zero(nvars));
+    for (i, &leaf) in leaves.iter().enumerate() {
+        tables[leaf.index()] = Some(Tt::var(i, nvars));
+    }
+    for id in interior {
+        if tables[id.index()].is_some() {
+            continue; // a leaf may also be listed as interior when root is a leaf
+        }
+        let [f0, f1] = aig.and_fanins(id);
+        let t0 = lit_tt(&tables, f0)?;
+        let t1 = lit_tt(&tables, f1)?;
+        tables[id.index()] = Some(t0.and(&t1));
+    }
+    let result = lit_tt(&tables, root)?;
+    Some(result)
+}
+
+fn lit_tt(tables: &[Option<Tt>], lit: Lit) -> Option<Tt> {
+    let t = tables[lit.node().index()].as_ref()?;
+    Some(if lit.is_complement() { t.not() } else { t.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_cone() {
+        let mut aig = Aig::new("maj");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let bc = aig.and(b, c);
+        let ca = aig.and(c, a);
+        let o1 = aig.or(ab, bc);
+        let maj = aig.or(o1, ca);
+        aig.add_output("m", maj);
+        let tt = cone_tt(&aig, maj, &[a.node(), b.node(), c.node()]).expect("cut");
+        let want = Tt::from_fn(3, |p| (p as u32).count_ones() >= 2);
+        assert_eq!(tt, want);
+    }
+
+    #[test]
+    fn complemented_root() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let tt = cone_tt(&aig, !x, &[a.node(), b.node()]).expect("cut");
+        assert_eq!(tt, Tt::var(0, 2).and(&Tt::var(1, 2)).not());
+    }
+
+    #[test]
+    fn intermediate_leaf() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let x = aig.and(a, b);
+        let y = aig.and(x, c);
+        // Cut {x, c}: y = var0 & var1.
+        let tt = cone_tt(&aig, y, &[x.node(), c.node()]).expect("cut");
+        assert_eq!(tt, Tt::var(0, 2).and(&Tt::var(1, 2)));
+    }
+
+    #[test]
+    fn invalid_cut_returns_none() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        assert!(cone_tt(&aig, x, &[a.node()]).is_none());
+    }
+
+    #[test]
+    fn constant_fanin_is_implicit() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        aig.add_output("y", a);
+        // Root literal is the constant itself.
+        let tt = cone_tt(&aig, alsrac_aig::Lit::TRUE, &[a.node()]).expect("cut");
+        assert!(tt.is_const1());
+    }
+
+    #[test]
+    fn root_equal_to_leaf() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let tt = cone_tt(&aig, x, &[x.node()]).expect("trivial cut");
+        assert_eq!(tt, Tt::var(0, 1));
+    }
+}

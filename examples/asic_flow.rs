@@ -1,0 +1,66 @@
+//! ASIC flow: approximate a Wallace multiplier under an NMED budget,
+//! map to standard cells, and export BLIF (the Table V scenario).
+//!
+//! ```text
+//! cargo run --release --example asic_flow
+//! ```
+
+use alsrac_suite::circuits::{arith, blif};
+use alsrac_suite::core::flow::{run, FlowConfig};
+use alsrac_suite::map::cell::{map_cells, Library};
+use alsrac_suite::metrics::ErrorMetric;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exact = arith::wallace_multiplier(6);
+    println!("exact multiplier: {exact:?}");
+
+    // NMED threshold of 0.1%: errors are small relative to the 12-bit
+    // output range, the regime of Table V.
+    let config = FlowConfig {
+        metric: ErrorMetric::Nmed,
+        threshold: 0.001,
+        seed: 2,
+        ..FlowConfig::default()
+    };
+    let result = run(&exact, &config)?;
+    println!(
+        "approx: {:?}  (applied {} LACs, NMED = {:.5}%)",
+        result.approx,
+        result.applied,
+        result.measured.nmed.unwrap_or(f64::NAN) * 100.0
+    );
+    println!(
+        "max error distance: {} of {}",
+        result.measured.max_error_distance.unwrap_or(0),
+        (1u64 << exact.num_outputs()) - 1
+    );
+
+    let library = Library::mcnc();
+    let base = map_cells(&exact, &library);
+    let mapped = map_cells(&result.approx, &library);
+    println!(
+        "cell area {:.1} -> {:.1} ({:.2}%), delay {:.1} -> {:.1} ({:.2}%)",
+        base.area,
+        mapped.area,
+        mapped.area / base.area * 100.0,
+        base.delay,
+        mapped.delay,
+        mapped.delay / base.delay * 100.0,
+    );
+    // Cell histogram of the approximate design.
+    let mut counts = std::collections::BTreeMap::new();
+    for cell in &mapped.cells {
+        *counts.entry(cell.gate.clone()).or_insert(0usize) += 1;
+    }
+    println!("cells: {counts:?}");
+
+    // Interchange: write the approximate AIG as BLIF.
+    let text = blif::write(&result.approx);
+    let out = std::env::temp_dir().join("alsrac_approx_mult.blif");
+    std::fs::write(&out, &text)?;
+    println!("wrote {} bytes of BLIF to {}", text.len(), out.display());
+    // Round-trip sanity.
+    let reparsed = blif::parse(&text)?;
+    assert_eq!(reparsed.num_outputs(), exact.num_outputs());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Three-way comparison on one circuit: ALSRAC vs Su's substitution method
+//! vs Liu's stochastic method, all at the same error-rate budget.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use alsrac_suite::circuits::arith;
+use alsrac_suite::core::baseline::{liu, su};
+use alsrac_suite::core::flow;
+use alsrac_suite::map::cell::{map_cells, Library};
+use alsrac_suite::metrics::ErrorMetric;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exact = arith::kogge_stone_adder(8);
+    let threshold = 0.03;
+    let library = Library::mcnc();
+    let base = map_cells(&exact, &library);
+    println!(
+        "exact: {exact:?}  area {:.1}  delay {:.1}\nthreshold: ER <= {:.1}%\n",
+        base.area,
+        base.delay,
+        threshold * 100.0
+    );
+
+    let alsrac = flow::run(
+        &exact,
+        &flow::FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold,
+            seed: 7,
+            ..flow::FlowConfig::default()
+        },
+    )?;
+    let su = su::run(
+        &exact,
+        &su::SuConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold,
+            seed: 7,
+            ..su::SuConfig::default()
+        },
+    )?;
+    let liu = liu::run(
+        &exact,
+        &liu::LiuConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold,
+            steps: 250,
+            seed: 7,
+            ..liu::LiuConfig::default()
+        },
+    )?;
+
+    println!("{:<8} {:>8} {:>8} {:>10} {:>8}", "method", "area", "delay", "ER", "changes");
+    for (name, result) in [("ALSRAC", &alsrac), ("Su", &su), ("Liu", &liu)] {
+        let mapped = map_cells(&result.approx, &library);
+        println!(
+            "{:<8} {:>7.2}% {:>7.2}% {:>9.3}% {:>8}",
+            name,
+            mapped.area / base.area * 100.0,
+            mapped.delay / base.delay * 100.0,
+            result.measured.error_rate * 100.0,
+            result.applied,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: approximate an 8-bit Kogge-Stone adder under a 2%
+//! error-rate budget.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alsrac_suite::core::flow::{run, FlowConfig};
+use alsrac_suite::circuits::arith;
+use alsrac_suite::map::cell::{map_cells, Library};
+use alsrac_suite::metrics::ErrorMetric;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An exact circuit: 8-bit Kogge-Stone adder (16 inputs, 9 outputs).
+    let exact = arith::kogge_stone_adder(8);
+    println!("exact:  {exact:?}");
+
+    // 2. Run ALSRAC with an error-rate threshold of 2%.
+    let config = FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.02,
+        seed: 1,
+        ..FlowConfig::default()
+    };
+    let result = run(&exact, &config)?;
+    println!("approx: {:?}", result.approx);
+    println!(
+        "applied {} LACs over {} iterations",
+        result.applied, result.iterations
+    );
+    println!(
+        "measured error rate: {:.4}% (threshold 2%)",
+        result.measured.error_rate * 100.0
+    );
+
+    // 3. Map both circuits to standard cells and compare.
+    let library = Library::mcnc();
+    let base = map_cells(&exact, &library);
+    let approx = map_cells(&result.approx, &library);
+    println!(
+        "area:  {:.1} -> {:.1}  (ratio {:.2}%)",
+        base.area,
+        approx.area,
+        approx.area / base.area * 100.0
+    );
+    println!(
+        "delay: {:.1} -> {:.1}  (ratio {:.2}%)",
+        base.delay,
+        approx.delay,
+        approx.delay / base.delay * 100.0
+    );
+    Ok(())
+}

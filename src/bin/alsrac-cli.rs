@@ -1,0 +1,236 @@
+//! `alsrac-cli` — run the ALSRAC flow on a circuit file from the command
+//! line.
+//!
+//! ```text
+//! alsrac-cli --input adder.blif --metric er --threshold 0.01 --output approx.blif
+//! alsrac-cli --bench rca32 --metric nmed --threshold 0.0005 --map lut6
+//! ```
+//!
+//! Input formats: BLIF (`.blif`), ASCII AIGER (`.aag`), binary AIGER
+//! (`.aig`), or a named generated benchmark via `--bench`. The output
+//! format follows the output file extension.
+
+use std::error::Error;
+use std::path::Path;
+use std::process::ExitCode;
+
+use alsrac_suite::aig::Aig;
+use alsrac_suite::circuits::{aiger, blif, catalog};
+use alsrac_suite::core::baseline::{liu, su};
+use alsrac_suite::core::flow::{run, FlowConfig};
+use alsrac_suite::map::cell::{map_cells, Library};
+use alsrac_suite::map::lut::map_luts;
+use alsrac_suite::metrics::ErrorMetric;
+
+struct Args {
+    input: Option<String>,
+    bench: Option<String>,
+    output: Option<String>,
+    metric: ErrorMetric,
+    threshold: f64,
+    seed: u64,
+    method: String,
+    map: Option<String>,
+    measure_rounds: usize,
+}
+
+const USAGE: &str = "\
+usage: alsrac-cli [options]
+  --input FILE        input circuit (.blif, .aag, .aig)
+  --bench NAME        use a generated benchmark (e.g. rca32, voter) instead
+  --output FILE       write the approximate circuit (.blif, .aag, .aig)
+  --metric er|nmed|mred   error metric (default er)
+  --threshold X       error budget (default 0.01)
+  --method alsrac|su|liu  synthesis method (default alsrac)
+  --map lut6|cells    also report mapped cost
+  --seed N            RNG seed (default 1)
+  --rounds N          Monte-Carlo measurement rounds (default 100000)
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        bench: None,
+        output: None,
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.01,
+        seed: 1,
+        method: "alsrac".to_string(),
+        map: None,
+        measure_rounds: 100_000,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--input" => args.input = Some(value()?),
+            "--bench" => args.bench = Some(value()?),
+            "--output" => args.output = Some(value()?),
+            "--metric" => {
+                args.metric = match value()?.as_str() {
+                    "er" => ErrorMetric::ErrorRate,
+                    "nmed" => ErrorMetric::Nmed,
+                    "mred" => ErrorMetric::Mred,
+                    other => return Err(format!("unknown metric {other}")),
+                }
+            }
+            "--threshold" => {
+                args.threshold = value()?.parse().map_err(|e| format!("threshold: {e}"))?
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--rounds" => {
+                args.measure_rounds = value()?.parse().map_err(|e| format!("rounds: {e}"))?
+            }
+            "--method" => args.method = value()?,
+            "--map" => args.map = Some(value()?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.input.is_none() == args.bench.is_none() {
+        return Err("exactly one of --input or --bench is required".to_string());
+    }
+    Ok(args)
+}
+
+fn load(args: &Args) -> Result<Aig, Box<dyn Error>> {
+    if let Some(name) = &args.bench {
+        return catalog::by_name(name, catalog::Scale::Paper)
+            .ok_or_else(|| format!("unknown benchmark {name:?}").into());
+    }
+    let path = args.input.as_deref().expect("validated");
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "blif" => Ok(blif::parse(&std::fs::read_to_string(path)?)?),
+        "aag" => Ok(aiger::parse_ascii(&std::fs::read_to_string(path)?)?),
+        "aig" => Ok(aiger::parse_binary(&std::fs::read(path)?)?),
+        other => Err(format!("unsupported input extension {other:?}").into()),
+    }
+}
+
+fn save(path: &str, aig: &Aig) -> Result<(), Box<dyn Error>> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "blif" => std::fs::write(path, blif::write(aig))?,
+        "aag" => std::fs::write(path, aiger::write_ascii(aig))?,
+        "aig" => std::fs::write(path, aiger::write_binary(aig))?,
+        other => return Err(format!("unsupported output extension {other:?}").into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match real_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
+    let exact = load(args)?;
+    eprintln!("loaded: {exact:?}");
+
+    let result = match args.method.as_str() {
+        "alsrac" => run(
+            &exact,
+            &FlowConfig {
+                metric: args.metric,
+                threshold: args.threshold,
+                seed: args.seed,
+                measure_rounds: args.measure_rounds,
+                ..FlowConfig::default()
+            },
+        )?,
+        "su" => su::run(
+            &exact,
+            &su::SuConfig {
+                metric: args.metric,
+                threshold: args.threshold,
+                seed: args.seed,
+                measure_rounds: args.measure_rounds,
+                ..su::SuConfig::default()
+            },
+        )?,
+        "liu" => liu::run(
+            &exact,
+            &liu::LiuConfig {
+                metric: args.metric,
+                threshold: args.threshold,
+                seed: args.seed,
+                measure_rounds: args.measure_rounds,
+                ..liu::LiuConfig::default()
+            },
+        )?,
+        other => return Err(format!("unknown method {other:?}").into()),
+    };
+
+    println!(
+        "{} -> {} AND nodes ({:.2}%), {} changes applied",
+        exact.num_ands(),
+        result.approx.num_ands(),
+        result.approx.num_ands() as f64 / exact.num_ands().max(1) as f64 * 100.0,
+        result.applied,
+    );
+    println!(
+        "measured: ER = {:.6}  NMED = {}  MRED = {}",
+        result.measured.error_rate,
+        result
+            .measured
+            .nmed
+            .map_or("n/a".to_string(), |v| format!("{v:.8}")),
+        result
+            .measured
+            .mred
+            .map_or("n/a".to_string(), |v| format!("{v:.8}")),
+    );
+
+    match args.map.as_deref() {
+        Some("lut6") => {
+            let base = map_luts(&exact, 6);
+            let approx = map_luts(&result.approx, 6);
+            println!(
+                "6-LUT: {} -> {} LUTs, depth {} -> {}",
+                base.num_luts(),
+                approx.num_luts(),
+                base.depth(),
+                approx.depth()
+            );
+        }
+        Some("cells") => {
+            let lib = Library::mcnc();
+            let base = map_cells(&exact, &lib);
+            let approx = map_cells(&result.approx, &lib);
+            println!(
+                "cells: area {:.1} -> {:.1}, delay {:.1} -> {:.1}",
+                base.area, approx.area, base.delay, approx.delay
+            );
+        }
+        Some(other) => return Err(format!("unknown mapper {other:?}").into()),
+        None => {}
+    }
+
+    if let Some(path) = &args.output {
+        save(path, &result.approx)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

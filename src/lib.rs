@@ -1,0 +1,24 @@
+//! Umbrella crate for the ALSRAC reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). It re-exports the member
+//! crates so examples can use a single dependency:
+//!
+//! ```
+//! use alsrac_suite::aig::Aig;
+//!
+//! let mut g = Aig::new("demo");
+//! let a = g.add_input("a");
+//! g.add_output("y", !a);
+//! assert_eq!(g.evaluate(&[false]), vec![true]);
+//! ```
+
+pub use alsrac as core;
+pub use alsrac_aig as aig;
+pub use alsrac_circuits as circuits;
+pub use alsrac_map as map;
+pub use alsrac_metrics as metrics;
+pub use alsrac_sat as sat;
+pub use alsrac_sim as sim;
+pub use alsrac_synth as synth;
+pub use alsrac_truthtable as truthtable;

@@ -1,0 +1,188 @@
+//! End-to-end integration tests: the full synthesis pipeline —
+//! generate circuit -> ALSRAC -> traditional optimization -> technology
+//! mapping — across circuit families, metrics, and both cost models.
+
+use alsrac_suite::circuits::{arith, blif, catalog, control};
+use alsrac_suite::core::baseline::{liu, su};
+use alsrac_suite::core::flow::{run, FlowConfig};
+use alsrac_suite::map::cell::{evaluate_mapping as eval_cells, map_cells, Library};
+use alsrac_suite::map::lut::{evaluate_mapping as eval_luts, map_luts};
+use alsrac_suite::metrics::ErrorMetric;
+
+fn er_config(threshold: f64) -> FlowConfig {
+    FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold,
+        max_iterations: 250,
+        ..FlowConfig::default()
+    }
+}
+
+#[test]
+fn alsrac_meets_threshold_across_families() {
+    for exact in [
+        arith::ripple_carry_adder(4),
+        arith::wallace_multiplier(3),
+        control::priority_encoder(8),
+        catalog::ecc_network(8, 19),
+    ] {
+        let result = run(&exact, &er_config(0.02)).expect("flow");
+        assert!(
+            result.measured.error_rate <= 0.02 + 1e-12,
+            "{}: measured {}",
+            exact.name(),
+            result.measured.error_rate
+        );
+        assert!(result.approx.num_ands() <= exact.num_ands(), "{}", exact.name());
+    }
+}
+
+#[test]
+fn approximate_circuit_maps_correctly_to_luts() {
+    let exact = arith::kogge_stone_adder(4);
+    let result = run(&exact, &er_config(0.10)).expect("flow");
+    let mapping = map_luts(&result.approx, 6);
+    for p in 0..(1u64 << exact.num_inputs()) {
+        let bits: Vec<bool> = (0..exact.num_inputs()).map(|i| p >> i & 1 != 0).collect();
+        assert_eq!(
+            eval_luts(&result.approx, &mapping, &bits),
+            result.approx.evaluate(&bits),
+            "LUT cover diverges at pattern {p:b}"
+        );
+    }
+}
+
+#[test]
+fn approximate_circuit_maps_correctly_to_cells() {
+    let exact = arith::ripple_carry_adder(4);
+    let result = run(&exact, &er_config(0.05)).expect("flow");
+    let library = Library::mcnc();
+    let mapping = map_cells(&result.approx, &library);
+    for p in 0..(1u64 << exact.num_inputs()) {
+        let bits: Vec<bool> = (0..exact.num_inputs()).map(|i| p >> i & 1 != 0).collect();
+        assert_eq!(
+            eval_cells(&result.approx, &mapping, &bits),
+            result.approx.evaluate(&bits),
+            "cell cover diverges at pattern {p:b}"
+        );
+    }
+}
+
+#[test]
+fn flow_output_round_trips_through_blif() {
+    let exact = arith::wallace_multiplier(3);
+    let result = run(&exact, &er_config(0.05)).expect("flow");
+    let text = blif::write(&result.approx);
+    let parsed = blif::parse(&text).expect("parse back");
+    for p in (0..64u64).step_by(5) {
+        let bits: Vec<bool> = (0..6).map(|i| p >> i & 1 != 0).collect();
+        assert_eq!(parsed.evaluate(&bits), result.approx.evaluate(&bits));
+    }
+}
+
+#[test]
+fn all_three_methods_respect_the_same_budget() {
+    let exact = arith::kogge_stone_adder(4);
+    let threshold = 0.04;
+    let a = run(&exact, &er_config(threshold)).expect("alsrac");
+    let s = su::run(
+        &exact,
+        &su::SuConfig {
+            threshold,
+            max_iterations: 200,
+            ..su::SuConfig::default()
+        },
+    )
+    .expect("su");
+    let l = liu::run(
+        &exact,
+        &liu::LiuConfig {
+            threshold,
+            steps: 150,
+            ..liu::LiuConfig::default()
+        },
+    )
+    .expect("liu");
+    for (name, r) in [("alsrac", &a), ("su", &s), ("liu", &l)] {
+        assert!(
+            r.measured.error_rate <= threshold + 1e-12,
+            "{name}: {}",
+            r.measured.error_rate
+        );
+    }
+}
+
+#[test]
+fn alsrac_is_competitive_with_su_on_structured_adders() {
+    // The paper's headline (Table IV) is that ALSRAC saves more area than
+    // Su's single-signal substitution at benchmark scale. At this test's
+    // tiny scale the comparison is noisy — and our Su reimplementation is
+    // *stronger* than the paper's (it ranks signals and estimates errors
+    // on exhaustive patterns, which is only feasible for toy circuits) —
+    // so here we only assert ALSRAC stays competitive; the paper-shape
+    // comparison is the `table4` harness binary (see EXPERIMENTS.md).
+    let mut alsrac_total = 0.0;
+    let mut su_total = 0.0;
+    for exact in [arith::carry_lookahead_adder(5), arith::kogge_stone_adder(5)] {
+        for threshold in [0.01, 0.05] {
+            let a = run(&exact, &er_config(threshold)).expect("alsrac");
+            let s = su::run(
+                &exact,
+                &su::SuConfig {
+                    threshold,
+                    max_iterations: 250,
+                    ..su::SuConfig::default()
+                },
+            )
+            .expect("su");
+            alsrac_total += a.approx.num_ands() as f64 / exact.num_ands() as f64;
+            su_total += s.approx.num_ands() as f64 / exact.num_ands() as f64;
+        }
+    }
+    assert!(
+        alsrac_total <= su_total * 1.25,
+        "ALSRAC ({alsrac_total:.3}) lost badly to Su ({su_total:.3})"
+    );
+}
+
+#[test]
+fn nmed_flow_produces_small_value_errors() {
+    // Under a tight NMED budget the surviving errors must be small in
+    // magnitude even if they are frequent: that is what distinguishes ED
+    // metrics from ER.
+    let exact = arith::ripple_carry_adder(5);
+    let config = FlowConfig {
+        metric: ErrorMetric::Nmed,
+        threshold: 0.005,
+        max_iterations: 250,
+        ..FlowConfig::default()
+    };
+    let result = run(&exact, &config).expect("flow");
+    let nmed = result.measured.nmed.expect("decodable");
+    assert!(nmed <= 0.005 + 1e-12);
+    if let Some(max_ed) = result.measured.max_error_distance {
+        // 5-bit adder, max output 63: mean-constrained errors shouldn't
+        // reach the top of the range.
+        assert!(max_ed < 63, "max ED {max_ed} suspiciously large");
+    }
+}
+
+#[test]
+fn optimizer_is_exact_within_the_flow() {
+    // Sanity: resyn2-lite inside the flow must never change the function.
+    // Run the flow with optimization disabled and enabled from the same
+    // seed: both must respect the threshold.
+    let exact = arith::wallace_multiplier(3);
+    for optimize in [false, true] {
+        let config = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.03,
+            optimize_after_apply: optimize,
+            max_iterations: 150,
+            seed: 5,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        assert!(result.measured.error_rate <= 0.03 + 1e-12, "optimize={optimize}");
+    }
+}

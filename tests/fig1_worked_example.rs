@@ -1,0 +1,116 @@
+//! Integration test: the paper's complete worked example (Fig. 1,
+//! Tables I-II, Examples 1-4) through the public API of every layer.
+
+use alsrac_suite::aig::{Aig, Lit};
+use alsrac_suite::core::care::ApproximateCareSet;
+use alsrac_suite::core::lac::Lac;
+use alsrac_suite::metrics::measure;
+use alsrac_suite::sim::{PatternBuffer, Simulation};
+use alsrac_suite::truthtable::{isop, minimize, Cube};
+
+/// Fig. 1a from Table I: x = !a!b, y = bc, u = c|d, z = a!b | b!c, w = !c,
+/// v = z ^ w.
+fn fig1() -> (Aig, Lit, Lit, Lit) {
+    let mut aig = Aig::new("fig1a");
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let d = aig.add_input("d");
+    let _x = aig.and(!a, !b);
+    let _y = aig.and(b, c);
+    let u = aig.or(c, d);
+    let anb = aig.and(a, !b);
+    let bnc = aig.and(b, !c);
+    let z = aig.or(anb, bnc);
+    let w = !c;
+    let v = aig.xor(z, w);
+    aig.add_output("v", v);
+    (aig, u, z, v)
+}
+
+/// Pattern index for "abcd" written MSB-first as in the paper.
+fn pattern(abcd: usize) -> Vec<bool> {
+    vec![abcd & 8 != 0, abcd & 4 != 0, abcd & 2 != 0, abcd & 1 != 0]
+}
+
+#[test]
+fn table_i_values_match() {
+    let (aig, u, z, v) = fig1();
+    // Full Table I for u, z, v (the signals the example uses).
+    let table = [
+        // abcd, u, z, v
+        (0b0000, false, false, true),
+        (0b0001, true, false, true),
+        (0b0010, true, false, false),
+        (0b0011, true, false, false),
+        (0b0100, false, true, false),
+        (0b0101, true, true, false),
+        (0b0110, true, false, false),
+        (0b0111, true, false, false),
+        (0b1000, false, true, false),
+        (0b1001, true, true, false),
+        (0b1010, true, true, true),
+        (0b1011, true, true, true),
+        (0b1100, false, true, false),
+        (0b1101, true, true, false),
+        (0b1110, true, false, false),
+        (0b1111, true, false, false),
+    ];
+    let rows: Vec<Vec<bool>> = table.iter().map(|&(p, ..)| pattern(p)).collect();
+    let patterns = PatternBuffer::from_rows(4, &rows);
+    let sim = Simulation::new(&aig, &patterns);
+    for (i, &(abcd, want_u, want_z, want_v)) in table.iter().enumerate() {
+        assert_eq!(sim.lit_bit(u, i), want_u, "u at abcd={abcd:04b}");
+        assert_eq!(sim.lit_bit(z, i), want_z, "z at abcd={abcd:04b}");
+        assert_eq!(sim.lit_bit(v, i), want_v, "v at abcd={abcd:04b}");
+    }
+}
+
+#[test]
+fn full_worked_example() {
+    let (aig, u, z, v) = fig1();
+
+    // Example 2 / Theorem 1: under all 16 patterns {u, z} cannot express v.
+    let all = PatternBuffer::exhaustive(4);
+    let sim_all = Simulation::new(&aig, &all);
+    assert!(ApproximateCareSet::harvest(&sim_all, &all, v, &[u, z]).is_none());
+
+    // Examples 1 and 3: with the 5 shaded patterns it becomes feasible and
+    // the cares at (u, z) are {00, 01, 10}.
+    let rows: Vec<Vec<bool>> = [0b0000, 0b0010, 0b0011, 0b0100, 0b1000]
+        .iter()
+        .map(|&p| pattern(p))
+        .collect();
+    let five = PatternBuffer::from_rows(4, &rows);
+    let sim5 = Simulation::new(&aig, &five);
+    let care =
+        ApproximateCareSet::harvest(&sim5, &five, v, &[u, z]).expect("feasible per Example 3");
+    assert_eq!(care.num_care_patterns(), 3);
+    assert!(!care.care_set().get(0b11), "uz = 11 is the don't-care");
+
+    // Example 4 / Table II: the derived function is !u & !z (a NOR).
+    let on = care.on_set();
+    let cover = minimize(
+        &isop(on, &on.or(&care.dont_care_set())),
+        on,
+        &care.dont_care_set(),
+    );
+    assert_eq!(cover.cubes(), &[Cube::TAUTOLOGY.with_neg(0).with_neg(1)]);
+
+    // Applying the LAC simplifies the circuit and introduces exactly
+    // 18.75% error rate under uniform inputs (3 of 16 patterns).
+    let lac = Lac {
+        node: v,
+        divisors: vec![u, z],
+        cover,
+        est_cost: 1,
+        est_saved: 0,
+    };
+    let approx = lac.apply(&aig).expect("no cycle");
+    assert!(
+        approx.num_ands() < aig.num_ands(),
+        "Fig. 1b is smaller than Fig. 1a"
+    );
+    let m = measure(&aig, &approx, &all).expect("same arity");
+    assert!((m.error_rate - 3.0 / 16.0).abs() < 1e-12);
+}
