@@ -23,9 +23,7 @@ pub struct Cut {
 impl Cut {
     /// The trivial cut of a node: the node itself.
     pub fn trivial(node: NodeId) -> Cut {
-        Cut {
-            leaves: vec![node],
-        }
+        Cut { leaves: vec![node] }
     }
 
     /// The leaves in ascending id order.
@@ -198,7 +196,9 @@ mod tests {
         let top = &sets[y.node().index()];
         let expect = vec![a.node(), b.node(), c.node()];
         assert!(
-            top.cuts().iter().any(|cut| cut.leaves() == expect.as_slice()),
+            top.cuts()
+                .iter()
+                .any(|cut| cut.leaves() == expect.as_slice()),
             "missing {expect:?} in {top:?}"
         );
     }

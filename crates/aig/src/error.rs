@@ -62,7 +62,10 @@ impl fmt::Display for RebuildError {
                 write!(f, "substitution creates a combinational cycle at {node}")
             }
             RebuildError::SubstitutionOutOfBounds { node } => {
-                write!(f, "substitution for {node} references an out-of-bounds literal")
+                write!(
+                    f,
+                    "substitution for {node} references an out-of-bounds literal"
+                )
             }
         }
     }

@@ -87,14 +87,13 @@ impl Aig {
                 Node::And { f0, f1 } => {
                     let _ = writeln!(dot, "  n{} [label=\"and\"];", id.index());
                     for f in [f0, f1] {
-                        let style = if f.is_complement() { " [style=dashed]" } else { "" };
-                        let _ = writeln!(
-                            dot,
-                            "  n{} -> n{}{};",
-                            f.node().index(),
-                            id.index(),
-                            style
-                        );
+                        let style = if f.is_complement() {
+                            " [style=dashed]"
+                        } else {
+                            ""
+                        };
+                        let _ =
+                            writeln!(dot, "  n{} -> n{}{};", f.node().index(), id.index(), style);
                     }
                 }
             }
@@ -105,7 +104,11 @@ impl Aig {
             } else {
                 ""
             };
-            let _ = writeln!(dot, "  o{i} [label=\"{}\", shape=invtriangle];", output.name);
+            let _ = writeln!(
+                dot,
+                "  o{i} [label=\"{}\", shape=invtriangle];",
+                output.name
+            );
             let _ = writeln!(dot, "  n{} -> o{i}{};", output.lit.node().index(), style);
         }
         dot.push_str("}\n");

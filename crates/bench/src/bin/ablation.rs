@@ -36,21 +36,33 @@ fn main() {
     let mut rows = Vec::new();
     for name in circuits {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
-        let wide = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-            let cfg = config_with(LacConfig::default(), threshold, 32, 5);
-            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
-        }, |_| true);
-        let narrow = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-            let lac = LacConfig {
-                divisors: DivisorConfig {
-                    max_sets: 3, // barely beyond the fanin removals
-                    ..DivisorConfig::default()
-                },
-                ..LacConfig::default()
-            };
-            let cfg = config_with(lac, threshold, 32, 5);
-            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
-        }, |_| true);
+        let wide = average_outcome(
+            &exact,
+            options.seeds,
+            asic_cost,
+            |seed| {
+                let cfg = config_with(LacConfig::default(), threshold, 32, 5);
+                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+            },
+            |_| true,
+        );
+        let narrow = average_outcome(
+            &exact,
+            options.seeds,
+            asic_cost,
+            |seed| {
+                let lac = LacConfig {
+                    divisors: DivisorConfig {
+                        max_sets: 3, // barely beyond the fanin removals
+                        ..DivisorConfig::default()
+                    },
+                    ..LacConfig::default()
+                };
+                let cfg = config_with(lac, threshold, 32, 5);
+                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+            },
+            |_| true,
+        );
         rows.push(vec![
             name.to_string(),
             percent(wide.area_ratio),
@@ -70,10 +82,16 @@ fn main() {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
         let mut row = vec![name.to_string()];
         for rounds in [8usize, 32, 128] {
-            let outcome = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-                let cfg = config_with(LacConfig::default(), threshold, rounds, 5);
-                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
-            }, |_| true);
+            let outcome = average_outcome(
+                &exact,
+                options.seeds,
+                asic_cost,
+                |seed| {
+                    let cfg = config_with(LacConfig::default(), threshold, rounds, 5);
+                    flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+                },
+                |_| true,
+            );
             row.push(percent(outcome.area_ratio));
         }
         rows.push(row);
@@ -89,14 +107,34 @@ fn main() {
     let mut rows = Vec::new();
     for name in circuits {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
-        let adaptive = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-            let cfg = config_with(LacConfig::default(), threshold, 32, 5);
-            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
-        }, |_| true);
-        let fixed = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-            let cfg = config_with(LacConfig::default(), threshold, 32, usize::MAX / 8);
-            flow::run(&exact, &FlowConfig { seed, max_iterations: 120, ..cfg }).expect("flow")
-        }, |_| true);
+        let adaptive = average_outcome(
+            &exact,
+            options.seeds,
+            asic_cost,
+            |seed| {
+                let cfg = config_with(LacConfig::default(), threshold, 32, 5);
+                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+            },
+            |_| true,
+        );
+        let fixed = average_outcome(
+            &exact,
+            options.seeds,
+            asic_cost,
+            |seed| {
+                let cfg = config_with(LacConfig::default(), threshold, 32, usize::MAX / 8);
+                flow::run(
+                    &exact,
+                    &FlowConfig {
+                        seed,
+                        max_iterations: 120,
+                        ..cfg
+                    },
+                )
+                .expect("flow")
+            },
+            |_| true,
+        );
         rows.push(vec![
             name.to_string(),
             percent(adaptive.area_ratio),
@@ -117,21 +155,33 @@ fn main() {
     let mut rows = Vec::new();
     for name in circuits {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
-        let two = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-            let cfg = config_with(LacConfig::default(), threshold, 32, 5);
-            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
-        }, |_| true);
-        let three = average_outcome(&exact, options.seeds, asic_cost, |seed| {
-            let lac = LacConfig {
-                lac_limit: 3,
-                divisors: DivisorConfig {
-                    include_extensions: true,
-                    ..DivisorConfig::default()
-                },
-            };
-            let cfg = config_with(lac, threshold, 32, 5);
-            flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
-        }, |_| true);
+        let two = average_outcome(
+            &exact,
+            options.seeds,
+            asic_cost,
+            |seed| {
+                let cfg = config_with(LacConfig::default(), threshold, 32, 5);
+                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+            },
+            |_| true,
+        );
+        let three = average_outcome(
+            &exact,
+            options.seeds,
+            asic_cost,
+            |seed| {
+                let lac = LacConfig {
+                    lac_limit: 3,
+                    divisors: DivisorConfig {
+                        include_extensions: true,
+                        ..DivisorConfig::default()
+                    },
+                };
+                let cfg = config_with(lac, threshold, 32, 5);
+                flow::run(&exact, &FlowConfig { seed, ..cfg }).expect("flow")
+            },
+            |_| true,
+        );
         rows.push(vec![
             name.to_string(),
             percent(two.area_ratio),

@@ -34,12 +34,7 @@ fn main() {
                 select_divisor_sets(aig, node, &divisor_config)
                     .into_iter()
                     .find(|set| set.len() >= 2)
-                    .map(|set| {
-                        (
-                            node.lit(),
-                            set.iter().map(|&d| d.lit()).collect::<Vec<_>>(),
-                        )
-                    })
+                    .map(|set| (node.lit(), set.iter().map(|&d| d.lit()).collect::<Vec<_>>()))
             })
             .collect();
 

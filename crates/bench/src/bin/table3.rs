@@ -32,8 +32,14 @@ fn main() {
     );
 
     for (title, suite) in [
-        ("Table III (b): EPFL random/control (FPGA: 6-LUT mapping)", catalog::epfl_control(options.scale)),
-        ("Table III (c): EPFL arithmetic (FPGA: 6-LUT mapping)", catalog::epfl_arith(options.scale)),
+        (
+            "Table III (b): EPFL random/control (FPGA: 6-LUT mapping)",
+            catalog::epfl_control(options.scale),
+        ),
+        (
+            "Table III (c): EPFL arithmetic (FPGA: 6-LUT mapping)",
+            catalog::epfl_arith(options.scale),
+        ),
     ] {
         let mut rows = Vec::new();
         for bench in suite {
@@ -47,6 +53,11 @@ fn main() {
                 format!("{depth:.0}"),
             ]);
         }
-        print_table(title, &["Circuit", "#PI", "#PO", "#AND", "#LUT", "Depth"], &rows, &[]);
+        print_table(
+            title,
+            &["Circuit", "#PI", "#PO", "#AND", "#LUT", "Depth"],
+            &rows,
+            &[],
+        );
     }
 }

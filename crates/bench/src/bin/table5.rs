@@ -7,18 +7,23 @@
 
 use alsrac::baseline::su::{self, SuConfig};
 use alsrac::flow::{self, FlowConfig};
-use alsrac_bench::{asic_cost, average_outcome, percent, print_table, within_budget, Options, Outcome};
+use alsrac_bench::{
+    asic_cost, average_outcome, percent, print_table, within_budget, Options, Outcome,
+};
 use alsrac_circuits::catalog;
 use alsrac_metrics::ErrorMetric;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
     // Paper-scale circuits re-optimize in batches to keep runtimes sane.
-    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper { 8 } else { 1 };
+    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper {
+        8
+    } else {
+        1
+    };
     let thresholds: &[f64] = if options.full {
         &[
-            0.0000153, 0.0000305, 0.0000610, 0.0001221, 0.0002441, 0.0004883, 0.0009766,
-            0.0019531,
+            0.0000153, 0.0000305, 0.0000610, 0.0001221, 0.0002441, 0.0004883, 0.0009766, 0.0019531,
         ]
     } else {
         &[0.0001221, 0.0004883, 0.0019531]
@@ -30,30 +35,42 @@ fn main() {
         let mut alsrac_avg = Outcome::default();
         let mut su_avg = Outcome::default();
         for &threshold in thresholds {
-            let a = average_outcome(exact, options.seeds, asic_cost, |seed| {
-                let config = FlowConfig {
-                    metric: ErrorMetric::Nmed,
-                    threshold,
-                    seed,
-                    max_iterations: 600,
-                    est_rounds: 1024,
-                    optimize_period: period,
-                    ..FlowConfig::default()
-                };
-                flow::run(exact, &config).expect("ALSRAC flow")
-            }, within_budget(ErrorMetric::Nmed, threshold));
-            let s = average_outcome(exact, options.seeds, asic_cost, |seed| {
-                let config = SuConfig {
-                    metric: ErrorMetric::Nmed,
-                    threshold,
-                    seed,
-                    max_iterations: if period > 1 { 150 } else { 400 },
-                    est_rounds: 1024,
-                    optimize_period: period,
-                    ..SuConfig::default()
-                };
-                su::run(exact, &config).expect("Su flow")
-            }, within_budget(ErrorMetric::Nmed, threshold));
+            let a = average_outcome(
+                exact,
+                options.seeds,
+                asic_cost,
+                |seed| {
+                    let config = FlowConfig {
+                        metric: ErrorMetric::Nmed,
+                        threshold,
+                        seed,
+                        max_iterations: 600,
+                        est_rounds: 1024,
+                        optimize_period: period,
+                        ..FlowConfig::default()
+                    };
+                    flow::run(exact, &config).expect("ALSRAC flow")
+                },
+                within_budget(ErrorMetric::Nmed, threshold),
+            );
+            let s = average_outcome(
+                exact,
+                options.seeds,
+                asic_cost,
+                |seed| {
+                    let config = SuConfig {
+                        metric: ErrorMetric::Nmed,
+                        threshold,
+                        seed,
+                        max_iterations: if period > 1 { 150 } else { 400 },
+                        est_rounds: 1024,
+                        optimize_period: period,
+                        ..SuConfig::default()
+                    };
+                    su::run(exact, &config).expect("Su flow")
+                },
+                within_budget(ErrorMetric::Nmed, threshold),
+            );
             alsrac_avg.area_ratio += a.area_ratio;
             alsrac_avg.delay_ratio += a.delay_ratio;
             alsrac_avg.seconds += a.seconds;
@@ -74,7 +91,11 @@ fn main() {
             format!("{:.1}", su_avg.seconds / n),
             format!("{}/{}", alsrac_avg.violations, su_avg.violations),
         ]);
-        eprintln!("done: {} {:?}", bench.paper_name, rows.last().expect("row just pushed"));
+        eprintln!(
+            "done: {} {:?}",
+            bench.paper_name,
+            rows.last().expect("row just pushed")
+        );
     }
     print_table(
         "Table V: ALSRAC vs Su under NMED constraint (ASIC)",

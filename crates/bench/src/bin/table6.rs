@@ -12,34 +12,50 @@ use alsrac_metrics::ErrorMetric;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
-    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper { 8 } else { 1 };
+    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper {
+        8
+    } else {
+        1
+    };
     let threshold = 0.01;
 
     let mut rows = Vec::new();
     for bench in catalog::epfl_control(options.scale) {
         let exact = &bench.aig;
-        let a = average_outcome(exact, options.seeds, fpga_cost, |seed| {
-            let config = FlowConfig {
-                metric: ErrorMetric::ErrorRate,
-                threshold,
-                seed,
-                max_iterations: 600,
-                est_rounds: 1024,
-                optimize_period: period,
-                ..FlowConfig::default()
-            };
-            flow::run(exact, &config).expect("ALSRAC flow")
-        }, within_budget(ErrorMetric::ErrorRate, threshold));
-        let l = average_outcome(exact, options.seeds, fpga_cost, |seed| {
-            let config = LiuConfig {
-                metric: ErrorMetric::ErrorRate,
-                threshold,
-                seed,
-                steps: if options.full { 600 } else { 200 },
-                ..LiuConfig::default()
-            };
-            liu::run(exact, &config).expect("Liu flow")
-        }, within_budget(ErrorMetric::ErrorRate, threshold));
+        let a = average_outcome(
+            exact,
+            options.seeds,
+            fpga_cost,
+            |seed| {
+                let config = FlowConfig {
+                    metric: ErrorMetric::ErrorRate,
+                    threshold,
+                    seed,
+                    max_iterations: 600,
+                    est_rounds: 1024,
+                    optimize_period: period,
+                    ..FlowConfig::default()
+                };
+                flow::run(exact, &config).expect("ALSRAC flow")
+            },
+            within_budget(ErrorMetric::ErrorRate, threshold),
+        );
+        let l = average_outcome(
+            exact,
+            options.seeds,
+            fpga_cost,
+            |seed| {
+                let config = LiuConfig {
+                    metric: ErrorMetric::ErrorRate,
+                    threshold,
+                    seed,
+                    steps: if options.full { 600 } else { 200 },
+                    ..LiuConfig::default()
+                };
+                liu::run(exact, &config).expect("Liu flow")
+            },
+            within_budget(ErrorMetric::ErrorRate, threshold),
+        );
         rows.push(vec![
             bench.paper_name.to_string(),
             percent(a.area_ratio),
@@ -49,7 +65,11 @@ fn main() {
             format!("{:.1}", a.seconds),
             format!("{}/{}", a.violations, l.violations),
         ]);
-        eprintln!("done: {} {:?}", bench.paper_name, rows.last().expect("row just pushed"));
+        eprintln!(
+            "done: {} {:?}",
+            bench.paper_name,
+            rows.last().expect("row just pushed")
+        );
     }
     print_table(
         "Table VI: ALSRAC vs Liu under ER = 1% (FPGA, 6-LUT)",

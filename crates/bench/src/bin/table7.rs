@@ -13,35 +13,51 @@ use alsrac_metrics::ErrorMetric;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
-    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper { 8 } else { 1 };
+    let period = if options.scale == alsrac_circuits::catalog::Scale::Paper {
+        8
+    } else {
+        1
+    };
     let threshold = 0.0019531;
 
     let mut rows = Vec::new();
     let mut without_max: Vec<(f64, f64)> = Vec::new();
     for bench in catalog::epfl_arith(options.scale) {
         let exact = &bench.aig;
-        let a = average_outcome(exact, options.seeds, fpga_cost, |seed| {
-            let config = FlowConfig {
-                metric: ErrorMetric::Mred,
-                threshold,
-                seed,
-                max_iterations: 600,
-                est_rounds: 1024,
-                optimize_period: period,
-                ..FlowConfig::default()
-            };
-            flow::run(exact, &config).expect("ALSRAC flow")
-        }, within_budget(ErrorMetric::Mred, threshold));
-        let l = average_outcome(exact, options.seeds, fpga_cost, |seed| {
-            let config = LiuConfig {
-                metric: ErrorMetric::Mred,
-                threshold,
-                seed,
-                steps: if options.full { 600 } else { 200 },
-                ..LiuConfig::default()
-            };
-            liu::run(exact, &config).expect("Liu flow")
-        }, within_budget(ErrorMetric::Mred, threshold));
+        let a = average_outcome(
+            exact,
+            options.seeds,
+            fpga_cost,
+            |seed| {
+                let config = FlowConfig {
+                    metric: ErrorMetric::Mred,
+                    threshold,
+                    seed,
+                    max_iterations: 600,
+                    est_rounds: 1024,
+                    optimize_period: period,
+                    ..FlowConfig::default()
+                };
+                flow::run(exact, &config).expect("ALSRAC flow")
+            },
+            within_budget(ErrorMetric::Mred, threshold),
+        );
+        let l = average_outcome(
+            exact,
+            options.seeds,
+            fpga_cost,
+            |seed| {
+                let config = LiuConfig {
+                    metric: ErrorMetric::Mred,
+                    threshold,
+                    seed,
+                    steps: if options.full { 600 } else { 200 },
+                    ..LiuConfig::default()
+                };
+                liu::run(exact, &config).expect("Liu flow")
+            },
+            within_budget(ErrorMetric::Mred, threshold),
+        );
         if bench.paper_name != "max" {
             without_max.push((a.area_ratio, l.area_ratio));
         }
@@ -54,7 +70,11 @@ fn main() {
             format!("{:.1}", a.seconds),
             format!("{}/{}", a.violations, l.violations),
         ]);
-        eprintln!("done: {} {:?}", bench.paper_name, rows.last().expect("row just pushed"));
+        eprintln!(
+            "done: {} {:?}",
+            bench.paper_name,
+            rows.last().expect("row just pushed")
+        );
     }
     print_table(
         "Table VII: ALSRAC vs Liu under MRED = 0.19531% (FPGA, 6-LUT)",

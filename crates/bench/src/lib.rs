@@ -184,11 +184,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>], mean_over
         let mut mean_row: Vec<String> = vec![String::new(); header.len()];
         mean_row[0] = "Arithmean".to_string();
         for &col in mean_over {
-            let sum: f64 = rows
+            let sum: f64 = rows.iter().filter_map(|r| parse_cell(&r[col])).sum();
+            let count = rows
                 .iter()
-                .filter_map(|r| parse_cell(&r[col]))
-                .sum();
-            let count = rows.iter().filter(|r| parse_cell(&r[col]).is_some()).count();
+                .filter(|r| parse_cell(&r[col]).is_some())
+                .count();
             if count > 0 {
                 let mean = sum / count as f64;
                 mean_row[col] = if rows.iter().any(|r| r[col].ends_with('%')) {

@@ -195,7 +195,10 @@ pub fn square(n: usize) -> Aig {
 ///
 /// Panics if `n` is odd or zero.
 pub fn sqrt(n: usize) -> Aig {
-    assert!(n > 0 && n % 2 == 0, "sqrt width must be even and positive");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "sqrt width must be even and positive"
+    );
     let half = n / 2;
     let w = half + 3; // remainder working width
     let mut aig = Aig::new(format!("sqrt{n}"));
@@ -268,7 +271,7 @@ pub fn sine(n: usize) -> Aig {
     // from 2^n - x, fine for a benchmark function).
     let reflected: Vec<Lit> = x.iter().map(|&l| !l).collect();
     let product = words::wallace_multiply(&mut aig, &x, &reflected); // 2n bits
-    // 4 * product / 2^n scaled back to n bits: take bits [n-2 .. 2n-2).
+                                                                     // 4 * product / 2^n scaled back to n bits: take bits [n-2 .. 2n-2).
     for i in 0..n {
         let bit = product.get(n - 2 + i).copied().unwrap_or(Lit::FALSE);
         aig.add_output(format!("y{i}"), bit);
@@ -319,7 +322,7 @@ pub fn log2(n: usize, frac: usize) -> Aig {
     }
     for i in 0..frac {
         // Fraction bit i sits `frac - i` places below the leading one.
-        let bit = if frac - i <= n - 1 {
+        let bit = if frac - i < n {
             normalized[n - 1 - (frac - i)]
         } else {
             Lit::FALSE
@@ -339,7 +342,7 @@ pub fn log2_model(x: u64, n: usize, frac: usize) -> (u64, u64) {
     let normalized = (x << shift) & ((1 << n) - 1);
     let mut fraction = 0u64;
     for i in 0..frac {
-        if frac - i <= n - 1 {
+        if frac - i < n {
             let bit = normalized >> (n - 1 - (frac - i)) & 1;
             fraction |= bit << i;
         }
@@ -352,7 +355,9 @@ mod tests {
     use super::*;
 
     fn eval_word(aig: &Aig, inputs: u64) -> u64 {
-        let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| inputs >> i & 1 != 0).collect();
+        let bits: Vec<bool> = (0..aig.num_inputs())
+            .map(|i| inputs >> i & 1 != 0)
+            .collect();
         aig.evaluate(&bits)
             .iter()
             .enumerate()
@@ -396,7 +401,11 @@ mod tests {
             for a in (0..16u64).step_by(3) {
                 for b in 0..16u64 {
                     let input = a | b << n | op << (2 * n);
-                    assert_eq!(eval_word(&aig, input), alu_model(op, a, b, n), "op={op} a={a} b={b}");
+                    assert_eq!(
+                        eval_word(&aig, input),
+                        alu_model(op, a, b, n),
+                        "op={op} a={a} b={b}"
+                    );
                 }
             }
         }
@@ -523,7 +532,7 @@ pub fn hypotenuse(n: usize) -> Aig {
     let mut radicand = sum;
     radicand.push(carry); // 2n + 1 bits
     radicand.push(Lit::FALSE); // even width for the sqrt recurrence
-    // Restoring square root over 2n+2 bits -> n+1 result bits.
+                               // Restoring square root over 2n+2 bits -> n+1 result bits.
     let w = (radicand.len() / 2) + 3;
     let half = radicand.len() / 2;
     let mut rem: Vec<Lit> = vec![Lit::FALSE; w];
@@ -557,9 +566,7 @@ mod hyp_tests {
         assert_eq!(aig.num_outputs(), n + 1);
         for x in 0..16u64 {
             for y in 0..16u64 {
-                let bits: Vec<bool> = (0..2 * n)
-                    .map(|i| (x | y << n) >> i & 1 != 0)
-                    .collect();
+                let bits: Vec<bool> = (0..2 * n).map(|i| (x | y << n) >> i & 1 != 0).collect();
                 let got: u64 = aig
                     .evaluate(&bits)
                     .iter()

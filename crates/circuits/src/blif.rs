@@ -76,11 +76,7 @@ pub fn write(aig: &Aig) -> String {
         .map(|i| sanitize(aig.input_name(i)))
         .collect();
     let _ = writeln!(out, ".inputs {}", input_names.join(" "));
-    let output_names: Vec<String> = aig
-        .outputs()
-        .iter()
-        .map(|o| sanitize(&o.name))
-        .collect();
+    let output_names: Vec<String> = aig.outputs().iter().map(|o| sanitize(&o.name)).collect();
     let _ = writeln!(out, ".outputs {}", output_names.join(" "));
 
     let signal = |lit_node: alsrac_aig::NodeId| -> String {
@@ -92,7 +88,10 @@ pub fn write(aig: &Aig) -> String {
     };
 
     // Constant-zero signal, emitted only if referenced.
-    let uses_const = aig.outputs().iter().any(|o| o.lit.node() == alsrac_aig::NodeId::CONST)
+    let uses_const = aig
+        .outputs()
+        .iter()
+        .any(|o| o.lit.node() == alsrac_aig::NodeId::CONST)
         || aig.iter_ands().any(|id| {
             let [f0, f1] = aig.and_fanins(id);
             f0.node() == alsrac_aig::NodeId::CONST || f1.node() == alsrac_aig::NodeId::CONST
@@ -103,7 +102,13 @@ pub fn write(aig: &Aig) -> String {
 
     for id in aig.iter_ands() {
         let [f0, f1] = aig.and_fanins(id);
-        let _ = writeln!(out, ".names {} {} n{}", signal(f0.node()), signal(f1.node()), id.index());
+        let _ = writeln!(
+            out,
+            ".names {} {} n{}",
+            signal(f0.node()),
+            signal(f1.node()),
+            id.index()
+        );
         let _ = writeln!(
             out,
             "{}{} 1",
@@ -112,8 +117,17 @@ pub fn write(aig: &Aig) -> String {
         );
     }
     for output in aig.outputs() {
-        let _ = writeln!(out, ".names {} {}", signal(output.lit.node()), sanitize(&output.name));
-        let _ = writeln!(out, "{} 1", if output.lit.is_complement() { '0' } else { '1' });
+        let _ = writeln!(
+            out,
+            ".names {} {}",
+            signal(output.lit.node()),
+            sanitize(&output.name)
+        );
+        let _ = writeln!(
+            out,
+            "{} 1",
+            if output.lit.is_complement() { '0' } else { '1' }
+        );
     }
     out.push_str(".end\n");
     out
@@ -192,7 +206,10 @@ pub fn parse(text: &str) -> Result<Aig, BlifError> {
                 ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
                 ".names" => {
                     let all: Vec<String> = tokens[1..].iter().map(|s| s.to_string()).collect();
-                    let (target, ins) = all.split_last().map(|(t, i)| (t.clone(), i.to_vec())).unwrap_or_default();
+                    let (target, ins) = all
+                        .split_last()
+                        .map(|(t, i)| (t.clone(), i.to_vec()))
+                        .unwrap_or_default();
                     current = Some((
                         target,
                         NamesTable {

@@ -44,9 +44,7 @@ impl Benchmark {
 /// bits produce check bits over seeded overlapping groups plus a corrected
 /// data word.
 pub fn ecc_network(n: usize, seed: u64) -> Aig {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = alsrac_rt::Rng::from_seed(seed);
     let mut aig = Aig::new(format!("ecc{n}"));
     let data = aig.add_inputs("d", n);
     let groups = (usize::BITS as usize - n.leading_zeros() as usize) + 1;
@@ -140,7 +138,10 @@ pub fn epfl_control(scale: Scale) -> Vec<Benchmark> {
         Scale::Test => vec![
             Benchmark::new("arbiter", control::arbiter(6)),
             Benchmark::new("cavlc", random_logic::control_like("cavlc", 8, 90, 11)),
-            Benchmark::new("alu ctrl", random_logic::control_like("alu_ctrl", 7, 30, 12)),
+            Benchmark::new(
+                "alu ctrl",
+                random_logic::control_like("alu_ctrl", 7, 30, 12),
+            ),
             Benchmark::new("decoder", control::decoder(4)),
             Benchmark::new("int2float", control::int_to_float(8, 4, 3)),
             Benchmark::new("priority", control::priority_encoder(10)),
@@ -150,11 +151,17 @@ pub fn epfl_control(scale: Scale) -> Vec<Benchmark> {
         Scale::Paper => vec![
             Benchmark::new("arbiter", control::arbiter(32)),
             Benchmark::new("cavlc", random_logic::control_like("cavlc", 10, 280, 11)),
-            Benchmark::new("alu ctrl", random_logic::control_like("alu_ctrl", 7, 80, 12)),
+            Benchmark::new(
+                "alu ctrl",
+                random_logic::control_like("alu_ctrl", 7, 80, 12),
+            ),
             Benchmark::new("decoder", control::decoder(7)),
             Benchmark::new("i2c ctrl", random_logic::control_like("i2c", 18, 600, 13)),
             Benchmark::new("int2float", control::int_to_float(11, 5, 4)),
-            Benchmark::new("mem ctrl", random_logic::control_like("mem_ctrl", 30, 2400, 14)),
+            Benchmark::new(
+                "mem ctrl",
+                random_logic::control_like("mem_ctrl", 30, 2400, 14),
+            ),
             Benchmark::new("priority", control::priority_encoder(64)),
             Benchmark::new("router", control::crossbar_router(4, 4)),
             Benchmark::new("voter", control::voter(31)),
@@ -227,8 +234,14 @@ mod tests {
 
     #[test]
     fn paper_scale_is_larger_than_test_scale() {
-        let small: usize = iscas_and_arith(Scale::Test).iter().map(|b| b.aig.num_ands()).sum();
-        let large: usize = iscas_and_arith(Scale::Paper).iter().map(|b| b.aig.num_ands()).sum();
+        let small: usize = iscas_and_arith(Scale::Test)
+            .iter()
+            .map(|b| b.aig.num_ands())
+            .sum();
+        let large: usize = iscas_and_arith(Scale::Paper)
+            .iter()
+            .map(|b| b.aig.num_ands())
+            .sum();
         assert!(large > 2 * small);
     }
 

@@ -228,7 +228,9 @@ mod tests {
     use super::*;
 
     fn eval_word(aig: &Aig, inputs: u64) -> u64 {
-        let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| inputs >> i & 1 != 0).collect();
+        let bits: Vec<bool> = (0..aig.num_inputs())
+            .map(|i| inputs >> i & 1 != 0)
+            .collect();
         aig.evaluate(&bits)
             .iter()
             .enumerate()

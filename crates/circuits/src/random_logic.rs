@@ -7,8 +7,7 @@
 //! source for the property-based tests of the synthesis and mapping crates.
 
 use alsrac_aig::{Aig, Lit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alsrac_rt::Rng;
 
 /// Configuration for [`random_network`].
 #[derive(Clone, Debug)]
@@ -52,7 +51,7 @@ impl Default for RandomNetworkConfig {
 pub fn random_network(config: &RandomNetworkConfig) -> Aig {
     assert!(config.num_inputs > 0, "need at least one input");
     assert!(config.num_outputs > 0, "need at least one output");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::from_seed(config.seed);
     let mut aig = Aig::new(format!("rand_s{}", config.seed));
     let mut signals: Vec<Lit> = aig.add_inputs("x", config.num_inputs);
 
@@ -70,7 +69,7 @@ pub fn random_network(config: &RandomNetworkConfig) -> Aig {
         signals.push(g);
     }
 
-    let tail = signals.len().saturating_sub(config.num_outputs * 2).max(0);
+    let tail = signals.len().saturating_sub(config.num_outputs * 2);
     for o in 0..config.num_outputs {
         let idx = rng.gen_range(tail..signals.len());
         let lit = signals[idx].complement_if(rng.gen_bool(0.5));

@@ -21,7 +21,10 @@ pub fn write(aig: &Aig) -> String {
     let outputs: Vec<String> = aig.outputs().iter().map(|o| sanitize(&o.name)).collect();
 
     let _ = writeln!(out, "module {module} (");
-    let mut ports: Vec<String> = inputs.iter().map(|n| format!("  input  wire {n}")).collect();
+    let mut ports: Vec<String> = inputs
+        .iter()
+        .map(|n| format!("  input  wire {n}"))
+        .collect();
     ports.extend(outputs.iter().map(|n| format!("  output wire {n}")));
     let _ = writeln!(out, "{}", ports.join(",\n"));
     let _ = writeln!(out, ");");
@@ -69,7 +72,13 @@ pub fn write(aig: &Aig) -> String {
 fn sanitize(name: &str) -> String {
     let mut cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         cleaned.insert(0, '_');

@@ -162,7 +162,7 @@ pub fn array_multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
     for (j, &bj) in b.iter().enumerate().skip(1) {
         let row: Vec<Lit> = a.iter().map(|&ai| aig.and(ai, bj)).collect();
         // Add `row` into acc at offset j.
-        let (sum, carry) = ripple_add(aig, &acc[j..j + n].to_vec(), &row, Lit::FALSE);
+        let (sum, carry) = ripple_add(aig, &acc[j..j + n], &row, Lit::FALSE);
         acc.splice(j..j + n, sum);
         if j + n < n + m {
             acc[j + n] = carry;
@@ -435,13 +435,13 @@ mod tests {
 
     #[test]
     fn array_multiply_is_multiplication() {
-        check_binop(4, |g, a, b| array_multiply(g, a, b), |a, b| a * b, 8);
+        check_binop(4, array_multiply, |a, b| a * b, 8);
     }
 
     #[test]
     fn wallace_multiply_is_multiplication() {
-        check_binop(4, |g, a, b| wallace_multiply(g, a, b), |a, b| a * b, 8);
-        check_binop(3, |g, a, b| wallace_multiply(g, a, b), |a, b| a * b, 6);
+        check_binop(4, wallace_multiply, |a, b| a * b, 8);
+        check_binop(3, wallace_multiply, |a, b| a * b, 6);
     }
 
     #[test]

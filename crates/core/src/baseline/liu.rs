@@ -12,9 +12,8 @@
 
 use alsrac_aig::Aig;
 use alsrac_metrics::{measure, measure_auto, ErrorMetric};
+use alsrac_rt::{derive_indexed, derive_seed, Rng, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::estimate::Estimator;
 use crate::flow::{FlowResult, IterationRecord};
@@ -85,11 +84,15 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             ),
         });
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::for_stream(config.seed, Stream::Proposal);
     let est_patterns = if original.num_inputs() <= crate::flow::EXHAUSTIVE_ESTIMATION_LIMIT {
         PatternBuffer::exhaustive(original.num_inputs())
     } else {
-        PatternBuffer::random(original.num_inputs(), config.est_rounds, config.seed ^ 0xE57)
+        PatternBuffer::random(
+            original.num_inputs(),
+            config.est_rounds,
+            derive_seed(config.seed, Stream::Estimation),
+        )
     };
 
     let mut current = original.cleaned();
@@ -104,7 +107,7 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         let care_patterns = PatternBuffer::random(
             current.num_inputs(),
             config.proposal_rounds.max(1),
-            config.seed.wrapping_add(step as u64).wrapping_mul(0x9E37),
+            derive_indexed(config.seed, Stream::Care, step as u64),
         );
         let care_sim = Simulation::new(&current, &care_patterns);
         let fanouts = current.fanout_map();
@@ -150,7 +153,7 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             Err(_) => continue, // cover hashed onto its own fanout: skip
         };
         applied += 1;
-        if config.optimize_period > 0 && applied % config.optimize_period == 0 {
+        if config.optimize_period > 0 && applied.is_multiple_of(config.optimize_period) {
             current = alsrac_synth::optimize(&current);
         }
         history.push(IterationRecord {
@@ -172,7 +175,12 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         let patterns = PatternBuffer::exhaustive(original.num_inputs());
         measure(original, &best, &patterns)?
     } else {
-        measure_auto(original, &best, config.measure_rounds, config.seed ^ 0x3EA5)?
+        measure_auto(
+            original,
+            &best,
+            config.measure_rounds,
+            derive_seed(config.seed, Stream::Measurement),
+        )?
     };
     Ok(FlowResult {
         approx: best,

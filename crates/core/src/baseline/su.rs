@@ -133,8 +133,8 @@ fn generate_candidates(aig: &Aig, estimator: &Estimator<'_>, per_node: usize) ->
 
     let distance = |a: NodeId, b: NodeId| -> (u32, u32) {
         let mut diff = 0u32;
-        for w in 0..sim.num_words() {
-            diff += ((sim.node_word(a, w) ^ sim.node_word(b, w)) & masks[w]).count_ones();
+        for (w, &m) in masks.iter().enumerate().take(sim.num_words()) {
+            diff += ((sim.node_word(a, w) ^ sim.node_word(b, w)) & m).count_ones();
         }
         (diff, total_bits - diff) // (positive polarity, complement)
     };
@@ -202,7 +202,11 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
     let est_patterns = if original.num_inputs() <= crate::flow::EXHAUSTIVE_ESTIMATION_LIMIT {
         PatternBuffer::exhaustive(original.num_inputs())
     } else {
-        PatternBuffer::random(original.num_inputs(), config.est_rounds, config.seed ^ 0xE57)
+        PatternBuffer::random(
+            original.num_inputs(),
+            config.est_rounds,
+            config.seed ^ 0xE57,
+        )
     };
 
     let mut current = original.cleaned();
@@ -228,7 +232,7 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
             .apply(&current)
             .expect("substitution targets are single non-TFO signals, so no cycle");
         applied += 1;
-        if config.optimize_after_apply && applied % config.optimize_period.max(1) == 0 {
+        if config.optimize_after_apply && applied.is_multiple_of(config.optimize_period.max(1)) {
             current = alsrac_synth::optimize(&current);
         }
         history.push(IterationRecord {
@@ -248,7 +252,12 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
         let patterns = PatternBuffer::exhaustive(original.num_inputs());
         measure(original, &current, &patterns)?
     } else {
-        measure_auto(original, &current, config.measure_rounds, config.seed ^ 0x3EA5)?
+        measure_auto(
+            original,
+            &current,
+            config.measure_rounds,
+            config.seed ^ 0x3EA5,
+        )?
     };
     Ok(FlowResult {
         approx: current,

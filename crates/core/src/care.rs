@@ -203,7 +203,10 @@ mod tests {
             // abcd in paper order: a = MSB. Input i of the buffer is bit i
             // of the exhaustive pattern index, and our inputs are (a,b,c,d)
             // in order, so pattern index p has a = bit 0.
-            let p = ((abcd >> 3) & 1) | ((abcd >> 2) & 1) << 1 | ((abcd >> 1) & 1) << 2 | (abcd & 1) << 3;
+            let p = ((abcd >> 3) & 1)
+                | ((abcd >> 2) & 1) << 1
+                | ((abcd >> 1) & 1) << 2
+                | (abcd & 1) << 3;
             assert_eq!(sim.lit_bit(v, p), want, "abcd={abcd:04b}");
         }
     }
@@ -234,9 +237,7 @@ mod tests {
         aig.add_output("y", x);
         let few = PatternBuffer::random(3, 2, 42);
         let sim = Simulation::new(&aig, &few);
-        let care =
-            ApproximateCareSet::harvest(&sim, &few, x, &[a, b, c])
-                .expect("feasible");
+        let care = ApproximateCareSet::harvest(&sim, &few, x, &[a, b, c]).expect("feasible");
         assert!(care.num_care_patterns() <= 2);
         assert!(care.dont_care_set().count_ones() >= 6);
     }

@@ -185,7 +185,6 @@ mod tests {
         let config = DivisorConfig {
             include_extensions: true,
             max_sets: 1000,
-            ..DivisorConfig::default()
         };
         let sets = select_divisor_sets(&aig, v, &config);
         assert!(sets.iter().any(|s| s.len() == 3));

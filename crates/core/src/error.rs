@@ -34,7 +34,10 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::DegenerateCircuit { inputs, outputs } => {
-                write!(f, "degenerate circuit with {inputs} inputs, {outputs} outputs")
+                write!(
+                    f,
+                    "degenerate circuit with {inputs} inputs, {outputs} outputs"
+                )
             }
             FlowError::MetricUnavailable { reason } => {
                 write!(f, "error metric unavailable: {reason}")

@@ -39,7 +39,11 @@ impl<'a> Estimator<'a> {
     /// Panics if the circuits disagree in input or output arity.
     pub fn new(original: &Aig, current: &'a Aig, patterns: &'a PatternBuffer) -> Estimator<'a> {
         assert_eq!(original.num_inputs(), current.num_inputs(), "input arity");
-        assert_eq!(original.num_outputs(), current.num_outputs(), "output arity");
+        assert_eq!(
+            original.num_outputs(),
+            current.num_outputs(),
+            "output arity"
+        );
         let original_sim = Simulation::new(original, patterns);
         let sim = Simulation::new(current, patterns);
         let original_outputs = original_sim.output_words(original);
@@ -82,12 +86,7 @@ impl<'a> Estimator<'a> {
     fn change_mask(&self, lac: &Lac) -> Vec<u64> {
         let words = self.sim.num_words();
         let mut new_value = vec![0u64; words];
-        sop_eval_words(
-            &lac.cover,
-            &lac.divisors,
-            &self.sim,
-            &mut new_value,
-        );
+        sop_eval_words(&lac.cover, &lac.divisors, &self.sim, &mut new_value);
         // The cover reproduces the signal lac.node; lanes where it
         // disagrees with that signal are exactly the lanes where the
         // underlying node flips (polarity cancels in the XOR).
@@ -99,7 +98,11 @@ impl<'a> Estimator<'a> {
     /// Estimates the full error measurement of applying one LAC to the
     /// current circuit, relative to the original circuit.
     pub fn estimate(&self, lac: &Lac, influence: &FlipInfluence) -> Measurement {
-        debug_assert_eq!(influence.node(), lac.node.node(), "influence/LAC node mismatch");
+        debug_assert_eq!(
+            influence.node(),
+            lac.node.node(),
+            "influence/LAC node mismatch"
+        );
         let change = self.change_mask(lac);
         let candidate_outputs = influence.apply(&self.current_outputs, &change);
         compare_output_words(

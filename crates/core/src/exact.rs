@@ -83,12 +83,10 @@ pub fn exact_resub_pass(aig: &Aig, config: &ExactResubConfig) -> (Aig, ExactResu
             continue;
         }
         stats.examined += 1;
-        let mut attempts = 0usize;
-        for divisors in select_divisor_sets(&work, node, &config.divisors) {
-            if attempts >= config.attempts_per_node {
-                break;
-            }
-            attempts += 1;
+        for divisors in select_divisor_sets(&work, node, &config.divisors)
+            .into_iter()
+            .take(config.attempts_per_node)
+        {
             stats.sat_queries += 1;
             let divisor_lits: Vec<Lit> = divisors.iter().map(|&d| d.lit()).collect();
             let Ok(table) = exact_resub_function(&work, node.lit(), &divisor_lits) else {

@@ -2,6 +2,7 @@
 
 use alsrac_aig::Aig;
 use alsrac_metrics::{measure, measure_auto, ErrorMetric, Measurement};
+use alsrac_rt::{derive_indexed, derive_seed, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
 use crate::estimate::Estimator;
@@ -33,7 +34,9 @@ pub struct FlowConfig {
     /// Patterns used for the final accuracy measurement (exhaustive when
     /// the input count permits).
     pub measure_rounds: usize,
-    /// RNG seed; every random decision derives from it.
+    /// RNG seed; every random decision derives from it. Care simulation,
+    /// candidate estimation, and the final measurement each draw from
+    /// their own [`alsrac_rt::Stream`] sub-stream of this seed.
     pub seed: u64,
     /// Per-input probability of being 1. `None` means uniform (the paper's
     /// experimental setting); `Some` exercises §III-A's "user-specified
@@ -80,7 +83,7 @@ impl Default for FlowConfig {
 
 impl FlowConfig {
     fn validate(&self) -> Result<(), FlowError> {
-        if !(self.threshold > 0.0) {
+        if self.threshold.is_nan() || self.threshold <= 0.0 {
             return Err(FlowError::InvalidConfig {
                 parameter: "threshold",
                 reason: "must be positive".to_string(),
@@ -194,13 +197,16 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
     };
     // Exhaustive estimation is only unbiased under the uniform
     // distribution; biased flows always sample.
-    let est_patterns = if config.input_bias.is_none()
-        && original.num_inputs() <= EXHAUSTIVE_ESTIMATION_LIMIT
-    {
-        PatternBuffer::exhaustive(original.num_inputs())
-    } else {
-        draw(original.num_inputs(), config.est_rounds, config.seed ^ 0xE57)
-    };
+    let est_patterns =
+        if config.input_bias.is_none() && original.num_inputs() <= EXHAUSTIVE_ESTIMATION_LIMIT {
+            PatternBuffer::exhaustive(original.num_inputs())
+        } else {
+            draw(
+                original.num_inputs(),
+                config.est_rounds,
+                derive_seed(config.seed, Stream::Estimation),
+            )
+        };
 
     while iterations < config.max_iterations {
         iterations += 1;
@@ -208,7 +214,7 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         let care_patterns = draw(
             current.num_inputs(),
             rounds,
-            config.seed.wrapping_add(iterations as u64),
+            derive_indexed(config.seed, Stream::Care, iterations as u64),
         );
         let care_sim = Simulation::new(&current, &care_patterns);
         let fanouts = current.fanout_map();
@@ -241,23 +247,27 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         let Some(ranked) = estimator.ranked_candidates(&lacs, config.metric) else {
             break; // metric not evaluable — cannot happen after the arity check
         };
-        let Some((best_error, applied_aig)) = ranked.iter().find_map(|&(idx, m)| {
-            let error = m
-                .value(config.metric)
-                .expect("metric availability checked up front");
-            if error > config.threshold {
-                return Some(None); // best remaining over budget
-            }
-            // Skip size-increasing candidates: an area-minimization flow
-            // has nothing to gain from them, and on wide datapaths they
-            // can accumulate into net growth.
-            if lacs[idx].est_gain() < 0 {
-                return None;
-            }
-            // Skip the rare candidate whose materialized cover hashes onto
-            // its own fanout (would create a cycle).
-            lacs[idx].apply(&current).ok().map(|aig| Some((error, aig)))
-        }).flatten() else {
+        let Some((best_error, applied_aig)) = ranked
+            .iter()
+            .find_map(|&(idx, m)| {
+                let error = m
+                    .value(config.metric)
+                    .expect("metric availability checked up front");
+                if error > config.threshold {
+                    return Some(None); // best remaining over budget
+                }
+                // Skip size-increasing candidates: an area-minimization flow
+                // has nothing to gain from them, and on wide datapaths they
+                // can accumulate into net growth.
+                if lacs[idx].est_gain() < 0 {
+                    return None;
+                }
+                // Skip the rare candidate whose materialized cover hashes onto
+                // its own fanout (would create a cycle).
+                lacs[idx].apply(&current).ok().map(|aig| Some((error, aig)))
+            })
+            .flatten()
+        else {
             // The literal Algorithm 3 breaks here (line 7). On wide-input
             // circuits the first feasible candidates can be poor while a
             // different pattern draw — or a *larger* care set — still has
@@ -283,7 +293,7 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         over_streak = 0;
         stuck_streak = 0;
         applied += 1;
-        if config.optimize_after_apply && applied % config.optimize_period.max(1) == 0 {
+        if config.optimize_after_apply && applied.is_multiple_of(config.optimize_period.max(1)) {
             current = alsrac_synth::optimize(&current);
         }
         history.push(IterationRecord {
@@ -301,14 +311,19 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             original.num_inputs(),
             config.measure_rounds,
             bias,
-            config.seed ^ 0x3EA5,
+            derive_seed(config.seed, Stream::Measurement),
         );
         measure(original, &current, &patterns)?
     } else if original.num_inputs() <= alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
         let patterns = PatternBuffer::exhaustive(original.num_inputs());
         measure(original, &current, &patterns)?
     } else {
-        measure_auto(original, &current, config.measure_rounds, config.seed ^ 0x3EA5)?
+        measure_auto(
+            original,
+            &current,
+            config.measure_rounds,
+            derive_seed(config.seed, Stream::Measurement),
+        )?
     };
     Ok(FlowResult {
         approx: current,
@@ -469,7 +484,13 @@ mod tests {
             ..FlowConfig::default()
         };
         let err = run(&exact, &cfg).expect_err("bad bias");
-        assert!(matches!(err, FlowError::InvalidConfig { parameter: "input_bias", .. }));
+        assert!(matches!(
+            err,
+            FlowError::InvalidConfig {
+                parameter: "input_bias",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -499,7 +520,9 @@ mod tests {
             ),
         ] {
             let err = run(&exact, &cfg).expect_err(param);
-            assert!(matches!(err, FlowError::InvalidConfig { parameter, .. } if parameter == param));
+            assert!(
+                matches!(err, FlowError::InvalidConfig { parameter, .. } if parameter == param)
+            );
         }
     }
 

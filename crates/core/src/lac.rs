@@ -222,7 +222,9 @@ mod tests {
                 ..LacConfig::default()
             },
         );
-        let count_for = |lacs: &[Lac], n: alsrac_aig::NodeId| lacs.iter().filter(|l| l.node.node() == n).count();
+        let count_for = |lacs: &[Lac], n: alsrac_aig::NodeId| {
+            lacs.iter().filter(|l| l.node.node() == n).count()
+        };
         for id in aig.iter_ands() {
             assert!(count_for(&one, id) <= 1);
             assert!(count_for(&many, id) <= 4);
@@ -241,7 +243,10 @@ mod tests {
         };
         // The paper's premise: shrinking the care set (fewer rounds) makes
         // feasibility easier, so more LACs appear.
-        assert!(count_with(2) >= count_with(200), "more patterns, fewer LACs");
+        assert!(
+            count_with(2) >= count_with(200),
+            "more patterns, fewer LACs"
+        );
     }
 
     #[test]

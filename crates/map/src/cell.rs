@@ -110,7 +110,7 @@ impl Library {
                 gate("aoi22", 4.0, 2.1, tt4(|a, b, c, d| !(a && b || c && d))),
                 gate("oai22", 4.0, 2.1, tt4(|a, b, c, d| !((a || b) && (c || d)))),
                 gate("mux21", 5.0, 2.0, tt3(|a, b, s| if s { b } else { a })),
-                gate("maj3", 6.0, 2.4, tt3(|a, b, c| (a && b) || (b && c) || (a && c))),
+                gate("maj3", 6.0, 2.4, tt3(|a, b, c| (a & b) | (b & c) | (a & c))),
             ],
             1.0,
             1.0,
@@ -525,7 +525,10 @@ mod tests {
                 ((p & 1 != 0) ^ (neg & 1 != 0)) && ((p & 2 != 0) ^ (neg & 2 != 0))
             });
             assert!(lib.matches.contains_key(&tt), "missing (±a)&(±b) {neg}");
-            assert!(lib.matches.contains_key(&tt.not()), "missing complement {neg}");
+            assert!(
+                lib.matches.contains_key(&tt.not()),
+                "missing complement {neg}"
+            );
         }
     }
 }

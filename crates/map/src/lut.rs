@@ -76,16 +76,13 @@ pub fn map_luts(aig: &Aig, k: usize) -> LutMapping {
                 + cut
                     .leaves()
                     .iter()
-                    .map(|l| {
-                        best_flow[l.index()] / f64::from(fanouts.ref_count(*l).max(1))
-                    })
+                    .map(|l| best_flow[l.index()] / f64::from(fanouts.ref_count(*l).max(1)))
                     .sum::<f64>();
             if chosen.is_none_or(|(d, f, _)| (depth, flow) < (d, f)) {
                 chosen = Some((depth, flow, c + 1)); // +1: index into cuts()
             }
         }
-        let (d, f, c) =
-            chosen.expect("every AND node has at least its fanin-pair cut");
+        let (d, f, c) = chosen.expect("every AND node has at least its fanin-pair cut");
         best_depth[i] = d;
         best_flow[i] = f;
         best_cut[i] = c;
@@ -106,8 +103,7 @@ pub fn map_luts(aig: &Aig, k: usize) -> LutMapping {
             continue;
         }
         let cut = &cut_sets[id.index()].cuts()[best_cut[id.index()]];
-        let tt = cone_tt(aig, id.lit(), cut.leaves())
-            .expect("enumerated cuts are valid cuts");
+        let tt = cone_tt(aig, id.lit(), cut.leaves()).expect("enumerated cuts are valid cuts");
         for &leaf in cut.leaves() {
             if aig.node(leaf).is_and() {
                 stack.push(leaf);

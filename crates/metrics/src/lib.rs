@@ -197,11 +197,7 @@ pub fn compare_output_words(
             }
         }
         let n = num_patterns as f64;
-        (
-            Some(sum_ed / n / denom),
-            Some(sum_red / n),
-            Some(max_ed),
-        )
+        (Some(sum_ed / n / denom), Some(sum_red / n), Some(max_ed))
     } else {
         (None, None, None)
     };
@@ -227,9 +223,7 @@ pub fn measure(
     approx: &Aig,
     patterns: &PatternBuffer,
 ) -> Result<Measurement, MetricsError> {
-    if exact.num_inputs() != approx.num_inputs()
-        || exact.num_outputs() != approx.num_outputs()
-    {
+    if exact.num_inputs() != approx.num_inputs() || exact.num_outputs() != approx.num_outputs() {
         return Err(MetricsError::ArityMismatch {
             exact: (exact.num_inputs(), exact.num_outputs()),
             approx: (approx.num_inputs(), approx.num_outputs()),
@@ -458,9 +452,7 @@ mod confidence_tests {
 
     #[test]
     fn wilson_contains_true_rate_on_simulated_draws() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = alsrac_rt::Rng::from_seed(5);
         let true_p = 0.02;
         let mut covered = 0;
         let trials = 200;

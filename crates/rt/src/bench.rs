@@ -1,0 +1,233 @@
+//! Wall-clock micro-bench timer for `harness = false` bench targets.
+//!
+//! Replaces the Criterion dependency with the subset this workspace
+//! actually uses: per-kernel timing with warmup, batched samples sized by
+//! a calibration run, and a median/min/mean report printed per benchmark.
+//!
+//! A [`Runner`] decides between two modes from the command line:
+//! `cargo bench` passes `--bench` to the target, which selects the full
+//! timed run; any other invocation (notably `cargo test`, which executes
+//! `harness = false` bench targets to keep them compiling and running)
+//! gets a one-iteration smoke run, so the test suite stays fast.
+//!
+//! ```no_run
+//! let mut runner = alsrac_rt::bench::Runner::from_args();
+//! runner.bench("sum 1..1000", || {
+//!     std::hint::black_box((1..1000u64).sum::<u64>());
+//! });
+//! runner.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per sample (1 in smoke mode).
+    pub iters_per_sample: u64,
+    /// Number of timed samples (1 in smoke mode).
+    pub samples: usize,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Benchmark execution parameters (full mode).
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Timed samples to collect per benchmark.
+    pub samples: usize,
+    /// Warmup samples (run, not recorded) per benchmark.
+    pub warmup_samples: usize,
+    /// Target wall-clock duration of one sample; the calibration run
+    /// chooses the per-sample iteration count to hit it.
+    pub target_sample: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            samples: 15,
+            warmup_samples: 3,
+            target_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Runs benchmarks and prints a one-line report per kernel.
+pub struct Runner {
+    options: Options,
+    /// Smoke mode: run each kernel once to prove it works, skip timing.
+    smoke: bool,
+    reports: Vec<Report>,
+}
+
+impl Runner {
+    /// Builds a runner from the process arguments: full timed mode when
+    /// `--bench` is present (what `cargo bench` passes), smoke mode
+    /// otherwise (what `cargo test` effectively asks for).
+    pub fn from_args() -> Runner {
+        let full = std::env::args().any(|a| a == "--bench");
+        Runner::new(Options::default(), !full)
+    }
+
+    /// Builds a runner with explicit options and mode.
+    pub fn new(options: Options, smoke: bool) -> Runner {
+        if smoke {
+            println!("smoke mode: one iteration per benchmark (pass --bench for timings)");
+        }
+        Runner {
+            options,
+            smoke,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Times `f`, prints one report line, and records the report.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &Report {
+        let report = if self.smoke {
+            let start = Instant::now();
+            f();
+            let ns = start.elapsed().as_nanos() as f64;
+            Report {
+                name: name.to_string(),
+                iters_per_sample: 1,
+                samples: 1,
+                median_ns: ns,
+                min_ns: ns,
+                mean_ns: ns,
+            }
+        } else {
+            self.run_timed(name, &mut f)
+        };
+        println!(
+            "{:<44} median {:>10}  min {:>10}  mean {:>10}  ({} x {} iters)",
+            report.name,
+            format_ns(report.median_ns),
+            format_ns(report.min_ns),
+            format_ns(report.mean_ns),
+            report.samples,
+            report.iters_per_sample,
+        );
+        self.reports.push(report);
+        self.reports.last().expect("just pushed")
+    }
+
+    fn run_timed<F: FnMut()>(&self, name: &str, f: &mut F) -> Report {
+        // Calibration: double the iteration count until one batch crosses
+        // a fraction of the sample target, then scale to the target.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.options.target_sample / 4 || iters >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        let target_ns = self.options.target_sample.as_nanos() as f64;
+        let iters_per_sample = ((target_ns / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+
+        let mut sample_ns = Vec::with_capacity(self.options.samples);
+        for sample in 0..self.options.warmup_samples + self.options.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            if sample >= self.options.warmup_samples {
+                sample_ns.push(ns);
+            }
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = if sample_ns.len() % 2 == 1 {
+            sample_ns[sample_ns.len() / 2]
+        } else {
+            (sample_ns[sample_ns.len() / 2 - 1] + sample_ns[sample_ns.len() / 2]) / 2.0
+        };
+        Report {
+            name: name.to_string(),
+            iters_per_sample,
+            samples: sample_ns.len(),
+            median_ns: median,
+            min_ns: sample_ns.first().copied().unwrap_or(0.0),
+            mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
+        }
+    }
+
+    /// All reports so far.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Prints a closing line. Call at the end of `main`.
+    pub fn finish(self) {
+        println!(
+            "{} benchmark{} complete",
+            self.reports.len(),
+            if self.reports.len() == 1 { "" } else { "s" }
+        );
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut calls = 0u32;
+        let mut runner = Runner::new(Options::default(), true);
+        runner.bench("counts calls", || calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(runner.reports().len(), 1);
+        runner.finish();
+    }
+
+    #[test]
+    fn timed_mode_produces_ordered_stats() {
+        let options = Options {
+            samples: 5,
+            warmup_samples: 1,
+            target_sample: Duration::from_micros(200),
+        };
+        let mut runner = Runner::new(options, false);
+        let report = runner
+            .bench("spin", || {
+                std::hint::black_box((0..100u64).sum::<u64>());
+            })
+            .clone();
+        assert_eq!(report.samples, 5);
+        assert!(report.min_ns <= report.median_ns);
+        assert!(report.min_ns > 0.0);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.00 s");
+    }
+}

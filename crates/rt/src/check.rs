@@ -1,0 +1,352 @@
+//! Minimal property-based testing harness.
+//!
+//! A property is a function from a generated value to `Result<(), String>`;
+//! the [`check`] runner draws a configurable number of cases from a
+//! [`Gen`], and on the first failure greedily shrinks the input before
+//! panicking with the minimal counterexample and the seed needed to
+//! replay the run (`ALSRAC_CHECK_SEED=<seed> cargo test …`).
+//!
+//! Generators compose structurally: tuples of generators are generators
+//! (shrinking one component at a time). The recommended pattern for
+//! complex values (circuits, pattern buffers, …) is to generate their
+//! *configuration* — sizes and a seed — and construct the value inside
+//! the property; shrinking then acts on the configuration, which is
+//! exactly the knob a human debugging the failure would turn.
+//!
+//! ```
+//! use alsrac_rt::{check, prop_assert, usizes, Config};
+//!
+//! check(
+//!     "addition commutes",
+//!     &Config::default(),
+//!     &(usizes(0..1000), usizes(0..1000)),
+//!     |&(a, b)| {
+//!         prop_assert!(a + b == b + a, "{a} + {b}");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::rng::{split_mix64, Rng};
+
+/// A source of random values with optional shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values, simplest first.
+    ///
+    /// The default proposes nothing, which disables shrinking for this
+    /// generator.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Generates any `u64`, shrinking toward 0.
+pub fn u64s() -> U64s {
+    U64s
+}
+
+/// See [`u64s`].
+#[derive(Clone, Copy, Debug)]
+pub struct U64s;
+
+impl Gen for U64s {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, &value: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for candidate in [0, value >> 32, value >> 1, value.wrapping_sub(1)] {
+            if candidate != value && !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+}
+
+/// Generates a `usize` in `range`, shrinking toward the lower bound.
+///
+/// # Panics
+///
+/// Panics (at generation time) if the range is empty.
+pub fn usizes(range: Range<usize>) -> Usizes {
+    Usizes { range }
+}
+
+/// See [`usizes`].
+#[derive(Clone, Debug)]
+pub struct Usizes {
+    range: Range<usize>,
+}
+
+impl Gen for Usizes {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Rng) -> usize {
+        rng.gen_range(self.range.clone())
+    }
+
+    fn shrink(&self, &value: &usize) -> Vec<usize> {
+        let lo = self.range.start;
+        let mut out = Vec::new();
+        for candidate in [lo, lo + (value - lo) / 2, value.saturating_sub(1)] {
+            if candidate != value && candidate >= lo && !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_gen_for_tuple {
+    ($(($g:ident, $v:ident, $i:tt)),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for shrunk in self.$i.shrink(&value.$i) {
+                        let mut candidate = value.clone();
+                        candidate.$i = shrunk;
+                        out.push(candidate);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_gen_for_tuple!((G0, v0, 0));
+impl_gen_for_tuple!((G0, v0, 0), (G1, v1, 1));
+impl_gen_for_tuple!((G0, v0, 0), (G1, v1, 1), (G2, v2, 2));
+impl_gen_for_tuple!((G0, v0, 0), (G1, v1, 1), (G2, v2, 2), (G3, v3, 3));
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Root seed. Each property derives its own stream from this and its
+    /// name, so properties are independent and individually replayable.
+    /// Overridable at run time with `ALSRAC_CHECK_SEED`.
+    pub seed: u64,
+    /// Upper bound on shrink attempts after a failure.
+    pub max_shrinks: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases (other fields default).
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let seed = std::env::var("ALSRAC_CHECK_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xA15A_C0DE);
+        Config {
+            cases: 64,
+            seed,
+            max_shrinks: 1024,
+        }
+    }
+}
+
+/// FNV-1a, used to give each named property its own seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `property` against `config.cases` values drawn from `gen`.
+///
+/// On failure the input is greedily shrunk (accept the first simpler
+/// candidate that still fails, repeat) and the harness panics with the
+/// property name, the minimal counterexample, the failure message, and
+/// the seed to replay the exact run.
+///
+/// # Panics
+///
+/// Panics if any case fails; this is the intended test-failure path.
+pub fn check<G, P>(name: &str, config: &Config, gen: &G, mut property: P)
+where
+    G: Gen,
+    P: FnMut(&G::Value) -> Result<(), String>,
+{
+    let mut state = config.seed ^ hash_name(name);
+    let mut rng = Rng::from_seed(split_mix64(&mut state));
+    for case in 0..config.cases {
+        let value = gen.generate(&mut rng);
+        let Err(error) = property(&value) else {
+            continue;
+        };
+        let (minimal, minimal_error, shrinks) =
+            shrink_failure(gen, &mut property, value, error, config.max_shrinks);
+        panic!(
+            "property '{name}' failed (case {case} of {cases}, {shrinks} shrinks)\n\
+             \u{20}  counterexample: {minimal:?}\n\
+             \u{20}  error: {minimal_error}\n\
+             \u{20}  replay with ALSRAC_CHECK_SEED={seed}",
+            cases = config.cases,
+            seed = config.seed,
+        );
+    }
+}
+
+fn shrink_failure<G, P>(
+    gen: &G,
+    property: &mut P,
+    mut value: G::Value,
+    mut error: String,
+    max_shrinks: u32,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    P: FnMut(&G::Value) -> Result<(), String>,
+{
+    let mut budget = max_shrinks;
+    let mut accepted = 0;
+    'outer: while budget > 0 {
+        for candidate in gen.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(e) = property(&candidate) {
+                value = candidate;
+                error = e;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break; // no simpler candidate still fails: minimal
+    }
+    (value, error, accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "u64 stays u64",
+            &Config::with_cases(32),
+            &u64s(),
+            |_value| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        seen += counter.get();
+        assert_eq!(seen, 32);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // The property "v < 100" over 0..10_000 must shrink to exactly 100.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "shrinks to boundary",
+                &Config::with_cases(256),
+                &usizes(0..10_000),
+                |&v| {
+                    if v < 100 {
+                        Ok(())
+                    } else {
+                        Err(format!("{v} too big"))
+                    }
+                },
+            );
+        });
+        let message = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(
+            message.contains("counterexample: 100"),
+            "not minimal: {message}"
+        );
+        assert!(message.contains("ALSRAC_CHECK_SEED="), "{message}");
+    }
+
+    #[test]
+    fn tuple_generator_shrinks_componentwise() {
+        let gen = (usizes(1..50), usizes(1..50));
+        let shrunk = gen.shrink(&(10, 20));
+        assert!(shrunk.iter().any(|&(a, b)| a < 10 && b == 20));
+        assert!(shrunk.iter().any(|&(a, b)| a == 10 && b < 20));
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let collect = |_: ()| {
+            let mut values = Vec::new();
+            check(
+                "collect",
+                &Config {
+                    cases: 8,
+                    seed: 99,
+                    max_shrinks: 0,
+                },
+                &u64s(),
+                |&v| {
+                    values.push(v);
+                    Ok(())
+                },
+            );
+            values
+        };
+        assert_eq!(collect(()), collect(()));
+    }
+
+    #[test]
+    fn property_names_decorrelate_streams() {
+        let draw_first = |name: &str| {
+            let mut first = None;
+            check(
+                name,
+                &Config {
+                    cases: 1,
+                    seed: 7,
+                    max_shrinks: 0,
+                },
+                &u64s(),
+                |&v| {
+                    first = Some(v);
+                    Ok(())
+                },
+            );
+            first.unwrap()
+        };
+        assert_ne!(draw_first("alpha"), draw_first("beta"));
+    }
+}

@@ -105,7 +105,11 @@ mod tests {
                 .collect();
             // Force output to the complement of the expected value: UNSAT.
             let mut with_bad = assumptions.clone();
-            with_bad.push(if want { !enc.sat_lit(y) } else { enc.sat_lit(y) });
+            with_bad.push(if want {
+                !enc.sat_lit(y)
+            } else {
+                enc.sat_lit(y)
+            });
             assert_eq!(
                 solver.solve_with_assumptions(&with_bad),
                 SatResult::Unsat,
@@ -113,7 +117,11 @@ mod tests {
             );
             // Force the expected value: SAT.
             let mut with_good = assumptions;
-            with_good.push(if want { enc.sat_lit(y) } else { !enc.sat_lit(y) });
+            with_good.push(if want {
+                enc.sat_lit(y)
+            } else {
+                !enc.sat_lit(y)
+            });
             assert_eq!(solver.solve_with_assumptions(&with_good), SatResult::Sat);
         }
     }

@@ -79,7 +79,12 @@ impl std::ops::Not for SatLit {
 
 impl fmt::Debug for SatLit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}v{}", if self.is_negated() { "!" } else { "" }, self.0 >> 1)
+        write!(
+            f,
+            "{}v{}",
+            if self.is_negated() { "!" } else { "" },
+            self.0 >> 1
+        )
     }
 }
 
@@ -544,8 +549,7 @@ mod tests {
             s.add_clause(&[a.lit(sa), b.lit(sb), c.lit(sc)]);
         }
         assert_eq!(s.solve(), SatResult::Sat);
-        let parity =
-            s.model_value(a) as u32 + s.model_value(b) as u32 + s.model_value(c) as u32;
+        let parity = s.model_value(a) as u32 + s.model_value(b) as u32 + s.model_value(c) as u32;
         assert_eq!(parity % 2, 1);
     }
 
@@ -557,10 +561,10 @@ mod tests {
         for row in &p {
             s.add_clause(&[row[0].positive(), row[1].positive()]);
         }
-        for h in 0..2 {
-            for i in 0..3 {
-                for j in i + 1..3 {
-                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (pi, pj) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[pi.negative(), pj.negative()]);
                 }
             }
         }
@@ -575,17 +579,17 @@ mod tests {
             let lits: Vec<SatLit> = row.iter().map(|v| v.positive()).collect();
             s.add_clause(&lits);
         }
-        for h in 0..4 {
-            for i in 0..4 {
-                for j in i + 1..4 {
-                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (pi, pj) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[pi.negative(), pj.negative()]);
                 }
             }
         }
         assert_eq!(s.solve(), SatResult::Sat);
         // Model is a valid injection.
         for h in 0..4 {
-            let count = (0..4).filter(|&i| s.model_value(p[i][h])).count();
+            let count = p.iter().filter(|row| s.model_value(row[h])).count();
             assert!(count <= 1);
         }
     }
@@ -618,10 +622,8 @@ mod tests {
 
     #[test]
     fn random_3sat_agrees_with_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         for seed in 0..30u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = alsrac_rt::Rng::from_seed(seed);
             let num_vars = 8;
             let num_clauses = rng.gen_range(8..40);
             let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
@@ -633,10 +635,9 @@ mod tests {
                 .collect();
             // Brute force.
             let brute_sat = (0..1u32 << num_vars).any(|m| {
-                clauses.iter().all(|c| {
-                    c.iter()
-                        .any(|&(v, neg)| (m >> v & 1 == 1) != neg)
-                })
+                clauses
+                    .iter()
+                    .all(|c| c.iter().any(|&(v, neg)| (m >> v & 1 == 1) != neg))
             });
             // Solver.
             let mut s = Solver::new();
@@ -649,7 +650,11 @@ mod tests {
             let result = if !ok { SatResult::Unsat } else { s.solve() };
             assert_eq!(
                 result,
-                if brute_sat { SatResult::Sat } else { SatResult::Unsat },
+                if brute_sat {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                },
                 "seed {seed}"
             );
             // If SAT, the model must actually satisfy all clauses.

@@ -1,7 +1,6 @@
 //! Packed input-pattern buffers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use alsrac_rt::Rng;
 
 /// A buffer of input patterns, bit-packed 64 per word.
 ///
@@ -24,14 +23,14 @@ impl PatternBuffer {
     /// The same `(num_inputs, num_patterns, seed)` triple always produces
     /// the same buffer, making every flow in this workspace reproducible.
     pub fn random(num_inputs: usize, num_patterns: usize, seed: u64) -> PatternBuffer {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let num_words = num_patterns.div_ceil(64).max(1);
         let tail = Self::tail_mask_for(num_patterns);
         let words = (0..num_inputs)
             .map(|_| {
                 (0..num_words)
                     .map(|w| {
-                        let bits: u64 = rng.gen();
+                        let bits = rng.next_u64();
                         if w + 1 == num_words {
                             bits & tail
                         } else {
@@ -58,13 +57,18 @@ impl PatternBuffer {
     ///
     /// Panics if `bias.len() != num_inputs` or any probability is outside
     /// `[0, 1]`.
-    pub fn biased(num_inputs: usize, num_patterns: usize, bias: &[f64], seed: u64) -> PatternBuffer {
+    pub fn biased(
+        num_inputs: usize,
+        num_patterns: usize,
+        bias: &[f64],
+        seed: u64,
+    ) -> PatternBuffer {
         assert_eq!(bias.len(), num_inputs, "one bias per input required");
         assert!(
             bias.iter().all(|p| (0.0..=1.0).contains(p)),
             "biases must be probabilities"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let num_words = num_patterns.div_ceil(64).max(1);
         let words = bias
             .iter()
@@ -162,10 +166,9 @@ impl PatternBuffer {
 
     /// Number of 64-bit words per input.
     pub fn num_words(&self) -> usize {
-        self.words.first().map_or(
-            self.num_patterns.div_ceil(64).max(1),
-            Vec::len,
-        )
+        self.words
+            .first()
+            .map_or(self.num_patterns.div_ceil(64).max(1), Vec::len)
     }
 
     /// The packed words of input `i`.

@@ -111,7 +111,11 @@ impl Simulation {
     /// Collects all output words: `result[po][w]`.
     pub fn output_words(&self, aig: &Aig) -> Vec<Vec<u64>> {
         (0..aig.num_outputs())
-            .map(|po| (0..self.num_words).map(|w| self.output_word(aig, po, w)).collect())
+            .map(|po| {
+                (0..self.num_words)
+                    .map(|w| self.output_word(aig, po, w))
+                    .collect()
+            })
             .collect()
     }
 }

@@ -1,7 +1,7 @@
 //! AND-tree balancing.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use alsrac_aig::{Aig, Lit, Node, NodeId};
 
@@ -53,7 +53,10 @@ pub fn balance(aig: &Aig) -> Aig {
                 let mapped = map[l.node().index()]
                     .expect("leaf processed before (topological order)")
                     .complement_if(l.is_complement());
-                Reverse((levels.get(mapped.node().index()).copied().unwrap_or(0), mapped.raw()))
+                Reverse((
+                    levels.get(mapped.node().index()).copied().unwrap_or(0),
+                    mapped.raw(),
+                ))
             })
             .collect();
         // Huffman-style: repeatedly combine the two shallowest terms.

@@ -62,9 +62,7 @@ pub fn refactor(aig: &Aig, config: &RefactorConfig) -> Aig {
         for &n in &mffc {
             if let Node::And { f0, f1 } = *work.node(n) {
                 for fanin in [f0.node(), f1.node()] {
-                    if !in_mffc[fanin.index()]
-                        && fanin != NodeId::CONST
-                        && !leaves.contains(&fanin)
+                    if !in_mffc[fanin.index()] && fanin != NodeId::CONST && !leaves.contains(&fanin)
                     {
                         leaves.push(fanin);
                     }

@@ -101,7 +101,10 @@ fn drop_contained(cover: &mut Sop) {
             continue;
         }
         for j in 0..cubes.len() {
-            if i != j && keep[j] && cubes[i].is_contained_in(cubes[j]) && (i > j || cubes[i] != cubes[j])
+            if i != j
+                && keep[j]
+                && cubes[i].is_contained_in(cubes[j])
+                && (i > j || cubes[i] != cubes[j])
             {
                 keep[i] = false;
                 break;
@@ -134,12 +137,20 @@ fn irredundant(cover: &mut Sop, on: &Tt, nvars: usize) {
         if contribution.and(&rest.to_tt(nvars).not()).is_const0() {
             // Mark as removed by replacing with a duplicate sentinel: easier
             // to filter once at the end.
-            cubes[i] = Cube { pos: u32::MAX, neg: u32::MAX };
+            cubes[i] = Cube {
+                pos: u32::MAX,
+                neg: u32::MAX,
+            };
         }
     }
     *cover = cubes
         .into_iter()
-        .filter(|c| *c != Cube { pos: u32::MAX, neg: u32::MAX })
+        .filter(|c| {
+            *c != Cube {
+                pos: u32::MAX,
+                neg: u32::MAX,
+            }
+        })
         .collect();
 }
 
@@ -155,9 +166,7 @@ fn reduce(cover: &mut Sop, on: &Tt, nvars: usize) {
             .filter(|&(j, _)| j != i)
             .map(|(_, c)| *c)
             .collect();
-        let required = on
-            .and(&cube.to_tt(nvars))
-            .and(&others.to_tt(nvars).not());
+        let required = on.and(&cube.to_tt(nvars)).and(&others.to_tt(nvars).not());
         if required.is_const0() {
             reduced.push(cube);
             continue;
@@ -228,10 +237,7 @@ mod tests {
         // the full-literal cube into something with at most one literal.
         let on = Tt::from_fn(3, |p| p == 7);
         let dc = Tt::from_fn(3, |p| p != 7 && p != 0);
-        let initial = Sop::new(vec![Cube::TAUTOLOGY
-            .with_pos(0)
-            .with_pos(1)
-            .with_pos(2)]);
+        let initial = Sop::new(vec![Cube::TAUTOLOGY.with_pos(0).with_pos(1).with_pos(2)]);
         let min = minimize(&initial, &on, &dc);
         check_interval(&min, &on, &dc);
         assert_eq!(min.num_cubes(), 1);

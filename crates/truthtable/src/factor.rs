@@ -71,7 +71,7 @@ fn build(aig: &mut Aig, cubes: &[Cube], inputs: &[Lit]) -> Lit {
     if cubes.is_empty() {
         return Lit::FALSE;
     }
-    if cubes.iter().any(|c| *c == Cube::TAUTOLOGY) {
+    if cubes.contains(&Cube::TAUTOLOGY) {
         return Lit::TRUE;
     }
     if cubes.len() == 1 {

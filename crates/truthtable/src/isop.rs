@@ -79,11 +79,7 @@ fn isop_rec(lower: &Tt, upper: &Tt, nvars: usize) -> (Vec<Cube>, Tt) {
     }
 
     let var_tt = Tt::var(var, nvars);
-    let f = var_tt
-        .not()
-        .and(&f0)
-        .or(&var_tt.and(&f1))
-        .or(&fr);
+    let f = var_tt.not().and(&f0).or(&var_tt.and(&f1)).or(&fr);
 
     let mut cubes = c0;
     cubes.extend(c1);

@@ -66,7 +66,11 @@ pub fn cone_tt(aig: &Aig, root: Lit, leaves: &[NodeId]) -> Option<Tt> {
 
 fn lit_tt(tables: &[Option<Tt>], lit: Lit) -> Option<Tt> {
     let t = tables[lit.node().index()].as_ref()?;
-    Some(if lit.is_complement() { t.not() } else { t.clone() })
+    Some(if lit.is_complement() {
+        t.not()
+    } else {
+        t.clone()
+    })
 }
 
 #[cfg(test)]

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    println!("{:<8} {:>8} {:>8} {:>10} {:>8}", "method", "area", "delay", "ER", "changes");
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>8}",
+        "method", "area", "delay", "ER", "changes"
+    );
     for (name, result) in [("ALSRAC", &alsrac), ("Su", &su), ("Liu", &liu)] {
         let mapped = map_cells(&result.approx, &library);
         println!(

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use alsrac_suite::core::flow::{run, FlowConfig};
 use alsrac_suite::circuits::arith;
+use alsrac_suite::core::flow::{run, FlowConfig};
 use alsrac_suite::map::cell::{map_cells, Library};
 use alsrac_suite::metrics::ErrorMetric;
 

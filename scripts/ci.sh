@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, fully offline (the build environment cannot
+# fetch crates; the workspace is hermetic by policy — see DESIGN.md).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "CI green."

@@ -18,6 +18,7 @@ pub use alsrac_aig as aig;
 pub use alsrac_circuits as circuits;
 pub use alsrac_map as map;
 pub use alsrac_metrics as metrics;
+pub use alsrac_rt as rt;
 pub use alsrac_sat as sat;
 pub use alsrac_sim as sim;
 pub use alsrac_synth as synth;

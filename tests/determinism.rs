@@ -1,0 +1,139 @@
+//! Determinism regression tests: the full ALSRAC flow is a pure function
+//! of `(circuit, FlowConfig)` — in particular of `FlowConfig::seed` — and
+//! distinct seeds actually change the random pattern streams.
+//!
+//! This pins the reproducibility contract stated in `flow.rs` ("every
+//! random decision derives from it") end to end: if the PRNG, the seed
+//! derivation, or the order of random draws inside the flow ever changes
+//! between two builds, these assertions localize it immediately.
+
+use alsrac_rt::{derive_indexed, derive_seed, Stream};
+use alsrac_suite::circuits::catalog::{iscas_and_arith, Scale};
+use alsrac_suite::core::flow::{run, FlowConfig, FlowResult};
+use alsrac_suite::metrics::ErrorMetric;
+use alsrac_suite::sim::PatternBuffer;
+
+/// A small catalog circuit (the `c1908`-analogue ECC network, 8 inputs).
+fn catalog_circuit() -> alsrac_suite::aig::Aig {
+    iscas_and_arith(Scale::Test)
+        .into_iter()
+        .find(|b| b.paper_name == "c1908")
+        .expect("catalog has c1908")
+        .aig
+}
+
+fn flow_config(seed: u64) -> FlowConfig {
+    FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.10,
+        max_iterations: 150,
+        seed,
+        ..FlowConfig::default()
+    }
+}
+
+/// Bit-identical comparison of two flow results: the accepted-LAC history
+/// (error estimates compared as raw f64 bits) and the final measurement.
+fn assert_identical(a: &FlowResult, b: &FlowResult) {
+    assert_eq!(a.iterations, b.iterations, "iteration counts differ");
+    assert_eq!(a.applied, b.applied, "accepted-LAC counts differ");
+    assert_eq!(
+        a.approx.num_ands(),
+        b.approx.num_ands(),
+        "final sizes differ"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "history lengths differ");
+    for (i, (ra, rb)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(
+            ra.estimated_error.to_bits(),
+            rb.estimated_error.to_bits(),
+            "accepted LAC {i}: estimated errors differ"
+        );
+        assert_eq!(ra.ands, rb.ands, "accepted LAC {i}: sizes differ");
+        assert_eq!(ra.rounds, rb.rounds, "accepted LAC {i}: rounds differ");
+    }
+    assert_eq!(a.measured.num_patterns, b.measured.num_patterns);
+    assert_eq!(
+        a.measured.error_rate.to_bits(),
+        b.measured.error_rate.to_bits(),
+        "measured error rates differ"
+    );
+    assert_eq!(
+        a.measured.nmed.map(f64::to_bits),
+        b.measured.nmed.map(f64::to_bits)
+    );
+    assert_eq!(
+        a.measured.mred.map(f64::to_bits),
+        b.measured.mred.map(f64::to_bits)
+    );
+    assert_eq!(a.measured.max_error_distance, b.measured.max_error_distance);
+}
+
+#[test]
+fn same_seed_gives_bit_identical_flow_runs() {
+    let circuit = catalog_circuit();
+    let config = flow_config(42);
+    let first = run(&circuit, &config).expect("flow");
+    let second = run(&circuit, &config).expect("flow");
+    assert!(
+        first.applied > 0,
+        "flow accepted no LACs; the determinism check would be vacuous"
+    );
+    assert_identical(&first, &second);
+}
+
+#[test]
+fn different_seeds_give_different_pattern_streams() {
+    // The flow's per-iteration care-pattern stream is keyed by the seed:
+    // two seeds must disagree somewhere in the first few iterations' draws.
+    let num_inputs = 8;
+    let rounds = 32;
+    let streams_differ = (1..4u64).any(|iteration| {
+        let a = PatternBuffer::random(
+            num_inputs,
+            rounds,
+            derive_indexed(42, Stream::Care, iteration),
+        );
+        let b = PatternBuffer::random(
+            num_inputs,
+            rounds,
+            derive_indexed(43, Stream::Care, iteration),
+        );
+        (0..num_inputs).any(|i| a.input_words(i) != b.input_words(i))
+    });
+    assert!(
+        streams_differ,
+        "seeds 42 and 43 yield identical care streams"
+    );
+
+    // Same for the estimation and measurement sub-streams.
+    for stream in [Stream::Estimation, Stream::Measurement] {
+        assert_ne!(
+            derive_seed(42, stream),
+            derive_seed(43, stream),
+            "{stream:?} sub-seed collides across root seeds"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_can_change_the_flow_trace() {
+    // Not every seed pair diverges on a small circuit, but across a few
+    // seeds the accepted-LAC traces must not all be bit-identical (that
+    // would mean the seed is ignored).
+    let circuit = catalog_circuit();
+    let traces: Vec<Vec<u64>> = (1..5u64)
+        .map(|seed| {
+            run(&circuit, &flow_config(seed))
+                .expect("flow")
+                .history
+                .iter()
+                .map(|r| r.estimated_error.to_bits() ^ r.ands as u64)
+                .collect()
+        })
+        .collect();
+    assert!(
+        traces.windows(2).any(|w| w[0] != w[1]),
+        "four different seeds produced identical traces"
+    );
+}

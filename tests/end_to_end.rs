@@ -33,7 +33,11 @@ fn alsrac_meets_threshold_across_families() {
             exact.name(),
             result.measured.error_rate
         );
-        assert!(result.approx.num_ands() <= exact.num_ands(), "{}", exact.name());
+        assert!(
+            result.approx.num_ands() <= exact.num_ands(),
+            "{}",
+            exact.name()
+        );
     }
 }
 
@@ -183,6 +187,9 @@ fn optimizer_is_exact_within_the_flow() {
             ..FlowConfig::default()
         };
         let result = run(&exact, &config).expect("flow");
-        assert!(result.measured.error_rate <= 0.03 + 1e-12, "optimize={optimize}");
+        assert!(
+            result.measured.error_rate <= 0.03 + 1e-12,
+            "optimize={optimize}"
+        );
     }
 }

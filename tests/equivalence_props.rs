@@ -1,14 +1,41 @@
 //! Property-based tests: functional-equivalence invariants of the exact
 //! transformations (optimizer passes, mappers, BLIF) over random circuits,
 //! and interval invariants of the two-level minimization engine.
+//!
+//! Runs on the `alsrac-rt` property harness. Circuit-valued properties
+//! generate a [`RandomNetworkConfig`] (sizes + seed) and build the network
+//! inside the property, so failures shrink toward smaller circuits.
 
+use alsrac_rt::{check, prop_assert, prop_assert_eq, u64s, usizes, Config, Gen};
 use alsrac_suite::aig::Aig;
-use alsrac_suite::circuits::{blif, random_logic::{random_network, RandomNetworkConfig}};
+use alsrac_suite::circuits::{
+    blif,
+    random_logic::{random_network, RandomNetworkConfig},
+};
 use alsrac_suite::map::cell::{evaluate_mapping as eval_cells, map_cells, Library};
 use alsrac_suite::map::lut::{evaluate_mapping as eval_luts, map_luts};
 use alsrac_suite::synth;
 use alsrac_suite::truthtable::{isop, minimize, sop_to_aig, Tt};
-use proptest::prelude::*;
+
+/// The proptest suite ran 48 cases per property; keep that budget.
+fn config() -> Config {
+    Config::with_cases(48)
+}
+
+/// Generator of network shapes: `(num_inputs, num_outputs, num_gates, seed)`.
+fn networks() -> impl Gen<Value = (usize, usize, usize, u64)> {
+    (usizes(2..9), usizes(1..5), usizes(5..90), u64s())
+}
+
+fn build(&(num_inputs, num_outputs, num_gates, seed): &(usize, usize, usize, u64)) -> Aig {
+    random_network(&RandomNetworkConfig {
+        num_inputs,
+        num_outputs,
+        num_gates,
+        locality: 16,
+        seed,
+    })
+}
 
 /// Exhaustive equivalence check for small-input circuits.
 fn equivalent(a: &Aig, b: &Aig) -> bool {
@@ -19,82 +46,126 @@ fn equivalent(a: &Aig, b: &Aig) -> bool {
     })
 }
 
-fn arb_network() -> impl Strategy<Value = Aig> {
-    (2usize..9, 1usize..5, 5usize..90, any::<u64>()).prop_map(
-        |(num_inputs, num_outputs, num_gates, seed)| {
-            random_network(&RandomNetworkConfig {
-                num_inputs,
-                num_outputs,
-                num_gates,
-                locality: 16,
-                seed,
-            })
+#[test]
+fn optimize_preserves_function() {
+    check(
+        "optimize preserves function",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let optimized = synth::optimize(&aig);
+            prop_assert!(equivalent(&aig, &optimized), "function changed");
+            prop_assert!(
+                optimized.num_ands() <= aig.num_ands(),
+                "optimizer grew the circuit"
+            );
+            Ok(())
         },
-    )
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn optimize_preserves_function(aig in arb_network()) {
-        let optimized = synth::optimize(&aig);
-        prop_assert!(equivalent(&aig, &optimized));
-        prop_assert!(optimized.num_ands() <= aig.num_ands());
-    }
-
-    #[test]
-    fn balance_never_deepens(aig in arb_network()) {
+#[test]
+fn balance_never_deepens() {
+    check("balance never deepens", &config(), &networks(), |cfg| {
+        let aig = build(cfg);
         let balanced = synth::balance(&aig);
-        prop_assert!(equivalent(&aig, &balanced));
-        prop_assert!(balanced.depth() <= aig.depth());
-    }
+        prop_assert!(equivalent(&aig, &balanced), "function changed");
+        prop_assert!(
+            balanced.depth() <= aig.depth(),
+            "balance deepened the circuit"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lut_cover_implements_the_circuit(aig in arb_network()) {
-        let mapping = map_luts(&aig, 4);
-        for p in 0..1u64 << aig.num_inputs() {
-            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 != 0).collect();
-            prop_assert_eq!(eval_luts(&aig, &mapping, &bits), aig.evaluate(&bits));
-        }
-    }
+#[test]
+fn lut_cover_implements_the_circuit() {
+    check(
+        "lut cover implements the circuit",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let mapping = map_luts(&aig, 4);
+            for p in 0..1u64 << aig.num_inputs() {
+                let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 != 0).collect();
+                prop_assert_eq!(eval_luts(&aig, &mapping, &bits), aig.evaluate(&bits));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn cell_cover_implements_the_circuit(aig in arb_network()) {
-        let library = Library::mcnc();
-        let mapping = map_cells(&aig, &library);
-        for p in 0..1u64 << aig.num_inputs() {
-            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 != 0).collect();
-            prop_assert_eq!(eval_cells(&aig, &mapping, &bits), aig.evaluate(&bits));
-        }
-    }
+#[test]
+fn cell_cover_implements_the_circuit() {
+    let library = Library::mcnc();
+    check(
+        "cell cover implements the circuit",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let mapping = map_cells(&aig, &library);
+            for p in 0..1u64 << aig.num_inputs() {
+                let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 != 0).collect();
+                prop_assert_eq!(eval_cells(&aig, &mapping, &bits), aig.evaluate(&bits));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn blif_round_trip_is_identity(aig in arb_network()) {
-        let text = blif::write(&aig);
-        let parsed = blif::parse(&text).expect("own output parses");
-        prop_assert!(equivalent(&aig, &parsed));
-    }
+#[test]
+fn blif_round_trip_is_identity() {
+    check(
+        "blif round trip is identity",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let text = blif::write(&aig);
+            let parsed = match blif::parse(&text) {
+                Ok(parsed) => parsed,
+                Err(e) => return Err(format!("own output failed to parse: {e}")),
+            };
+            prop_assert!(equivalent(&aig, &parsed), "round trip changed the function");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn isop_respects_interval(on_bits in any::<u64>(), dc_bits in any::<u64>()) {
-        let on = Tt::from_bits(6, on_bits & !dc_bits);
-        let dc = Tt::from_bits(6, dc_bits & !(on_bits & !dc_bits));
-        let upper = on.or(&dc);
-        let cover = isop(&on, &upper);
-        let f = cover.to_tt(6);
-        prop_assert!(on.and(&f.not()).is_const0(), "misses on-set");
-        prop_assert!(f.and(&upper.not()).is_const0(), "hits off-set");
+#[test]
+fn isop_respects_interval() {
+    check(
+        "isop respects interval",
+        &config(),
+        &(u64s(), u64s()),
+        |&(on_bits, dc_bits)| {
+            let on = Tt::from_bits(6, on_bits & !dc_bits);
+            let dc = Tt::from_bits(6, dc_bits & !(on_bits & !dc_bits));
+            let upper = on.or(&dc);
+            let cover = isop(&on, &upper);
+            let f = cover.to_tt(6);
+            prop_assert!(on.and(&f.not()).is_const0(), "misses on-set");
+            prop_assert!(f.and(&upper.not()).is_const0(), "hits off-set");
 
-        let minimized = minimize(&cover, &on, &dc);
-        let g = minimized.to_tt(6);
-        prop_assert!(on.and(&g.not()).is_const0());
-        prop_assert!(g.and(&upper.not()).is_const0());
-        prop_assert!(minimized.num_cubes() <= cover.num_cubes());
-    }
+            let minimized = minimize(&cover, &on, &dc);
+            let g = minimized.to_tt(6);
+            prop_assert!(on.and(&g.not()).is_const0(), "minimized misses on-set");
+            prop_assert!(g.and(&upper.not()).is_const0(), "minimized hits off-set");
+            prop_assert!(
+                minimized.num_cubes() <= cover.num_cubes(),
+                "minimization grew the cover"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sop_to_aig_builds_the_cover(bits in any::<u64>()) {
+#[test]
+fn sop_to_aig_builds_the_cover() {
+    check("sop_to_aig builds the cover", &config(), &u64s(), |&bits| {
         let f = Tt::from_bits(6, bits);
         let cover = isop(&f, &f);
         let mut aig = Aig::new("t");
@@ -105,13 +176,23 @@ proptest! {
             let pattern: Vec<bool> = (0..6).map(|i| p >> i & 1 != 0).collect();
             prop_assert_eq!(aig.evaluate(&pattern)[0], f.get(p));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cleaned_is_idempotent_and_equivalent(aig in arb_network()) {
-        let once = aig.cleaned();
-        let twice = once.cleaned();
-        prop_assert!(equivalent(&aig, &once));
-        prop_assert_eq!(once.num_ands(), twice.num_ands());
-    }
+#[test]
+fn cleaned_is_idempotent_and_equivalent() {
+    check(
+        "cleaned is idempotent and equivalent",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let once = aig.cleaned();
+            let twice = once.cleaned();
+            prop_assert!(equivalent(&aig, &once), "cleanup changed the function");
+            prop_assert_eq!(once.num_ands(), twice.num_ands());
+            Ok(())
+        },
+    );
 }

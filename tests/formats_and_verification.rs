@@ -6,10 +6,10 @@
 use alsrac_suite::circuits::{aiger, arith, blif, verilog};
 use alsrac_suite::core::exact::{exact_resub_pass, ExactResubConfig};
 use alsrac_suite::core::flow::{run, FlowConfig};
+use alsrac_suite::metrics::ErrorMetric;
 use alsrac_suite::metrics::{error_rate_upper_bound, samples_for_certification};
 use alsrac_suite::sat::cec::{equivalent, CecResult};
 use alsrac_suite::synth;
-use alsrac_suite::metrics::ErrorMetric;
 
 #[test]
 fn flow_output_round_trips_through_aiger() {
