@@ -88,7 +88,7 @@ fn bench_batch_estimation(runner: &mut Runner) {
     );
     let est_patterns = PatternBuffer::random(16, 2048, 6);
     runner.bench("batch estimate all LACs ksa8", || {
-        let estimator = Estimator::new(&aig, &aig, &est_patterns);
+        let estimator = Estimator::new(&aig, &aig, &est_patterns, &fanouts);
         black_box(estimator.estimate_all(black_box(&lacs)));
     });
 }

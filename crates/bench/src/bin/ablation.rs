@@ -14,6 +14,7 @@ use alsrac::lac::LacConfig;
 use alsrac_bench::{asic_cost, average_outcome, percent, print_table, Options};
 use alsrac_circuits::catalog;
 use alsrac_metrics::ErrorMetric;
+use alsrac_rt::pool;
 
 fn config_with(lac: LacConfig, threshold: f64, rounds: usize, patience: usize) -> FlowConfig {
     FlowConfig {
@@ -32,9 +33,9 @@ fn main() {
     let threshold = 0.03;
     let circuits = ["cla32", "ksa32", "wal8"];
 
-    // Ablation 1: divisor pool width.
-    let mut rows = Vec::new();
-    for name in circuits {
+    // Ablation 1: divisor pool width. Each circuit's runs are seeded
+    // flows, so the parallel rows match the serial ones exactly.
+    let rows = pool::par_map(&circuits, |name| {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
         let wide = average_outcome(
             &exact,
@@ -63,12 +64,12 @@ fn main() {
             },
             |_| true,
         );
-        rows.push(vec![
+        vec![
             name.to_string(),
             percent(wide.area_ratio),
             percent(narrow.area_ratio),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Ablation 1: TFI-wide divisors vs fanin-local divisors (ER = 3%, area ratio)",
         &["Circuit", "TFI-wide", "Fanin-local"],
@@ -77,8 +78,7 @@ fn main() {
     );
 
     // Ablation 2: initial simulation rounds N (dynamic control always on).
-    let mut rows = Vec::new();
-    for name in circuits {
+    let rows = pool::par_map(&circuits, |name| {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
         let mut row = vec![name.to_string()];
         for rounds in [8usize, 32, 128] {
@@ -94,8 +94,8 @@ fn main() {
             );
             row.push(percent(outcome.area_ratio));
         }
-        rows.push(row);
-    }
+        row
+    });
     print_table(
         "Ablation 2: initial simulation rounds N (ER = 3%, area ratio)",
         &["Circuit", "N=8", "N=32", "N=128"],
@@ -104,8 +104,7 @@ fn main() {
     );
 
     // Ablation 2b: adaptive N vs effectively-fixed N (huge patience).
-    let mut rows = Vec::new();
-    for name in circuits {
+    let rows = pool::par_map(&circuits, |name| {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
         let adaptive = average_outcome(
             &exact,
@@ -135,12 +134,12 @@ fn main() {
             },
             |_| true,
         );
-        rows.push(vec![
+        vec![
             name.to_string(),
             percent(adaptive.area_ratio),
             percent(fixed.area_ratio),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Ablation 2b: adaptive N (t=5, r=0.9) vs fixed N = 32 (ER = 3%, area ratio)",
         &["Circuit", "Adaptive", "Fixed"],
@@ -152,8 +151,7 @@ fn main() {
     // extended 3-divisor sets (fanins + one TFI signal). Extensions go
     // beyond Algorithm 1 but quantify how much expressive power the
     // 2-divisor restriction leaves on the table.
-    let mut rows = Vec::new();
-    for name in circuits {
+    let rows = pool::par_map(&circuits, |name| {
         let exact = catalog::by_name(name, options.scale).expect("known benchmark");
         let two = average_outcome(
             &exact,
@@ -182,12 +180,12 @@ fn main() {
             },
             |_| true,
         );
-        rows.push(vec![
+        vec![
             name.to_string(),
             percent(two.area_ratio),
             percent(three.area_ratio),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Ablation 3: 2-divisor (paper) vs extended 3-divisor LACs (ER = 3%, area ratio)",
         &["Circuit", "2-divisor", "3-divisor"],

@@ -14,6 +14,7 @@ use alsrac_bench::{
 };
 use alsrac_circuits::catalog;
 use alsrac_metrics::ErrorMetric;
+use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
@@ -29,8 +30,11 @@ fn main() {
         &[0.01, 0.03, 0.05]
     };
 
-    let mut rows = Vec::new();
-    for bench in catalog::iscas_and_arith(options.scale) {
+    // One worker per circuit: each (circuit, threshold, seed) run is an
+    // independent seeded flow, so rows come out identical to the serial
+    // loop at any ALSRAC_THREADS.
+    let benches = catalog::iscas_and_arith(options.scale);
+    let rows = pool::par_map(&benches, |bench| {
         let exact = &bench.aig;
         let mut alsrac_avg = Outcome::default();
         let mut su_avg = Outcome::default();
@@ -81,7 +85,7 @@ fn main() {
             su_avg.violations += s.violations;
         }
         let n = thresholds.len() as f64;
-        rows.push(vec![
+        let row = vec![
             bench.paper_name.to_string(),
             percent(alsrac_avg.area_ratio / n),
             percent(su_avg.area_ratio / n),
@@ -90,13 +94,10 @@ fn main() {
             format!("{:.1}", alsrac_avg.seconds / n),
             format!("{:.1}", su_avg.seconds / n),
             format!("{}/{}", alsrac_avg.violations, su_avg.violations),
-        ]);
-        eprintln!(
-            "done: {} {:?}",
-            bench.paper_name,
-            rows.last().expect("row just pushed")
-        );
-    }
+        ];
+        eprintln!("done: {} {:?}", bench.paper_name, row);
+        row
+    });
     print_table(
         "Table IV: ALSRAC vs Su under ER constraint (ASIC)",
         &[

@@ -12,6 +12,7 @@ use alsrac_bench::{
 };
 use alsrac_circuits::catalog;
 use alsrac_metrics::ErrorMetric;
+use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
@@ -29,8 +30,9 @@ fn main() {
         &[0.0001221, 0.0004883, 0.0019531]
     };
 
-    let mut rows = Vec::new();
-    for bench in catalog::arithmetic_subset(options.scale) {
+    // Per-circuit fan-out on the hermetic pool; deterministic per seed.
+    let benches = catalog::arithmetic_subset(options.scale);
+    let rows = pool::par_map(&benches, |bench| {
         let exact = &bench.aig;
         let mut alsrac_avg = Outcome::default();
         let mut su_avg = Outcome::default();
@@ -81,7 +83,7 @@ fn main() {
             su_avg.violations += s.violations;
         }
         let n = thresholds.len() as f64;
-        rows.push(vec![
+        let row = vec![
             bench.paper_name.to_string(),
             percent(alsrac_avg.area_ratio / n),
             percent(su_avg.area_ratio / n),
@@ -90,13 +92,10 @@ fn main() {
             format!("{:.1}", alsrac_avg.seconds / n),
             format!("{:.1}", su_avg.seconds / n),
             format!("{}/{}", alsrac_avg.violations, su_avg.violations),
-        ]);
-        eprintln!(
-            "done: {} {:?}",
-            bench.paper_name,
-            rows.last().expect("row just pushed")
-        );
-    }
+        ];
+        eprintln!("done: {} {:?}", bench.paper_name, row);
+        row
+    });
     print_table(
         "Table V: ALSRAC vs Su under NMED constraint (ASIC)",
         &[

@@ -9,6 +9,7 @@ use alsrac::flow::{self, FlowConfig};
 use alsrac_bench::{average_outcome, fpga_cost, percent, print_table, within_budget, Options};
 use alsrac_circuits::catalog;
 use alsrac_metrics::ErrorMetric;
+use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
@@ -19,8 +20,9 @@ fn main() {
     };
     let threshold = 0.01;
 
-    let mut rows = Vec::new();
-    for bench in catalog::epfl_control(options.scale) {
+    // Per-circuit fan-out on the hermetic pool; deterministic per seed.
+    let benches = catalog::epfl_control(options.scale);
+    let rows = pool::par_map(&benches, |bench| {
         let exact = &bench.aig;
         let a = average_outcome(
             exact,
@@ -56,7 +58,7 @@ fn main() {
             },
             within_budget(ErrorMetric::ErrorRate, threshold),
         );
-        rows.push(vec![
+        let row = vec![
             bench.paper_name.to_string(),
             percent(a.area_ratio),
             percent(l.area_ratio),
@@ -64,13 +66,10 @@ fn main() {
             percent(l.delay_ratio),
             format!("{:.1}", a.seconds),
             format!("{}/{}", a.violations, l.violations),
-        ]);
-        eprintln!(
-            "done: {} {:?}",
-            bench.paper_name,
-            rows.last().expect("row just pushed")
-        );
-    }
+        ];
+        eprintln!("done: {} {:?}", bench.paper_name, row);
+        row
+    });
     print_table(
         "Table VI: ALSRAC vs Liu under ER = 1% (FPGA, 6-LUT)",
         &[

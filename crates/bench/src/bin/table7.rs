@@ -10,6 +10,7 @@ use alsrac::flow::{self, FlowConfig};
 use alsrac_bench::{average_outcome, fpga_cost, percent, print_table, within_budget, Options};
 use alsrac_circuits::catalog;
 use alsrac_metrics::ErrorMetric;
+use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
@@ -20,9 +21,11 @@ fn main() {
     };
     let threshold = 0.0019531;
 
-    let mut rows = Vec::new();
-    let mut without_max: Vec<(f64, f64)> = Vec::new();
-    for bench in catalog::epfl_arith(options.scale) {
+    // Per-circuit fan-out on the hermetic pool; deterministic per seed.
+    // Each worker also reports its circuit's area pair for the no-`max`
+    // arithmetic mean, folded after the parallel section.
+    let benches = catalog::epfl_arith(options.scale);
+    let outcomes = pool::par_map(&benches, |bench| {
         let exact = &bench.aig;
         let a = average_outcome(
             exact,
@@ -58,10 +61,8 @@ fn main() {
             },
             within_budget(ErrorMetric::Mred, threshold),
         );
-        if bench.paper_name != "max" {
-            without_max.push((a.area_ratio, l.area_ratio));
-        }
-        rows.push(vec![
+        let area_pair = (bench.paper_name != "max").then_some((a.area_ratio, l.area_ratio));
+        let row = vec![
             bench.paper_name.to_string(),
             percent(a.area_ratio),
             percent(l.area_ratio),
@@ -69,12 +70,15 @@ fn main() {
             percent(l.delay_ratio),
             format!("{:.1}", a.seconds),
             format!("{}/{}", a.violations, l.violations),
-        ]);
-        eprintln!(
-            "done: {} {:?}",
-            bench.paper_name,
-            rows.last().expect("row just pushed")
-        );
+        ];
+        eprintln!("done: {} {:?}", bench.paper_name, row);
+        (row, area_pair)
+    });
+    let mut rows = Vec::new();
+    let mut without_max: Vec<(f64, f64)> = Vec::new();
+    for (row, area_pair) in outcomes {
+        rows.push(row);
+        without_max.extend(area_pair);
     }
     print_table(
         "Table VII: ALSRAC vs Liu under MRED = 0.19531% (FPGA, 6-LUT)",

@@ -124,7 +124,7 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         let proposal = &pool[rng.gen_range(0..pool.len())];
 
         // Constraint check by batch estimation against the original.
-        let estimator = Estimator::new(original, &current, &est_patterns);
+        let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
         let influence = alsrac_sim::FlipInfluence::compute(
             &current,
             estimator.simulation(),

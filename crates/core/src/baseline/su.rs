@@ -103,14 +103,16 @@ const SIMILARITY_WINDOW: usize = 48;
 
 /// Generates SASIMI candidates: for each node, its most similar non-TFO
 /// signals (both polarities) plus the two constants.
-fn generate_candidates(aig: &Aig, estimator: &Estimator<'_>, per_node: usize) -> Vec<Lac> {
+fn generate_candidates(
+    aig: &Aig,
+    estimator: &Estimator<'_>,
+    fanouts: &alsrac_aig::FanoutMap,
+    per_node: usize,
+) -> Vec<Lac> {
     let sim = estimator.simulation();
     let patterns = estimator.patterns();
-    let masks: Vec<u64> = (0..patterns.num_words())
-        .map(|w| patterns.word_mask(w))
-        .collect();
+    let masks = patterns.word_masks();
     let total_bits: u32 = masks.iter().map(|m| m.count_ones()).sum();
-    let fanouts = aig.fanout_map();
     let mut lacs = Vec::new();
 
     // Signatures sorted by popcount, once per call.
@@ -140,8 +142,8 @@ fn generate_candidates(aig: &Aig, estimator: &Estimator<'_>, per_node: usize) ->
     };
 
     for node in aig.iter_ands() {
-        let tfo = aig.tfo_cone(node, &fanouts);
-        let saved = aig.mffc(node, &fanouts).len();
+        let tfo = aig.tfo_cone(node, fanouts);
+        let saved = aig.mffc(node, fanouts).len();
         let mut ranked: Vec<(u32, NodeId, bool)> = Vec::new();
         let consider = |other: NodeId, ranked: &mut Vec<(u32, NodeId, bool)>| {
             if other == node || tfo.contains(other) {
@@ -216,8 +218,9 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
 
     while iterations < config.max_iterations {
         iterations += 1;
-        let estimator = Estimator::new(original, &current, &est_patterns);
-        let lacs = generate_candidates(&current, &estimator, config.candidates_per_node);
+        let fanouts = current.fanout_map();
+        let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
+        let lacs = generate_candidates(&current, &estimator, &fanouts, config.candidates_per_node);
         if lacs.is_empty() {
             break;
         }
@@ -245,7 +248,12 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
         }
     }
 
-    if config.optimize_after_apply && config.optimize_period > 1 {
+    // Final optimize only when accepted substitutions are still
+    // unoptimized (same guard as the ALSRAC flow).
+    if config.optimize_after_apply
+        && applied > 0
+        && !applied.is_multiple_of(config.optimize_period.max(1))
+    {
         current = alsrac_synth::optimize(&current);
     }
     let measured = if original.num_inputs() <= alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
@@ -322,9 +330,9 @@ mod tests {
     fn candidates_avoid_tfo_cycles() {
         let exact = alsrac_circuits::arith::ripple_carry_adder(3);
         let patterns = PatternBuffer::exhaustive(6);
-        let estimator = Estimator::new(&exact, &exact, &patterns);
-        let lacs = generate_candidates(&exact, &estimator, 3);
         let fanouts = exact.fanout_map();
+        let estimator = Estimator::new(&exact, &exact, &patterns, &fanouts);
+        let lacs = generate_candidates(&exact, &estimator, &fanouts, 3);
         for lac in &lacs {
             for &d in &lac.divisors {
                 let tfo = exact.tfo_cone(lac.node.node(), &fanouts);

@@ -8,10 +8,12 @@
 //! new function disagrees with the current one, and each such lane flips
 //! exactly the outputs the influence masks say it flips.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use alsrac_aig::{Aig, NodeId};
+use alsrac_aig::{Aig, FanoutMap, NodeId};
 use alsrac_metrics::{compare_output_words, ErrorMetric, Measurement};
+use alsrac_rt::pool;
 use alsrac_sim::{FlipInfluence, PatternBuffer, Simulation};
 use alsrac_truthtable::Sop;
 
@@ -21,10 +23,13 @@ use crate::lac::Lac;
 ///
 /// Holds the simulations of the *original* circuit (the error reference)
 /// and the *current* circuit (the one being modified) on the same
-/// patterns.
+/// patterns, plus the current circuit's fanout map (computed once per
+/// graph snapshot by the caller — every flow already has it in hand for
+/// LAC generation).
 pub struct Estimator<'a> {
     current: &'a Aig,
     patterns: &'a PatternBuffer,
+    fanouts: &'a FanoutMap,
     sim: Simulation,
     original_outputs: Vec<Vec<u64>>,
     current_outputs: Vec<Vec<u64>>,
@@ -34,10 +39,18 @@ pub struct Estimator<'a> {
 impl<'a> Estimator<'a> {
     /// Builds an estimator by simulating both circuits on `patterns`.
     ///
+    /// `fanouts` must be the fanout map of `current` (the same snapshot —
+    /// it is used to walk TFO cones during influence computation).
+    ///
     /// # Panics
     ///
     /// Panics if the circuits disagree in input or output arity.
-    pub fn new(original: &Aig, current: &'a Aig, patterns: &'a PatternBuffer) -> Estimator<'a> {
+    pub fn new(
+        original: &Aig,
+        current: &'a Aig,
+        patterns: &'a PatternBuffer,
+        fanouts: &'a FanoutMap,
+    ) -> Estimator<'a> {
         assert_eq!(original.num_inputs(), current.num_inputs(), "input arity");
         assert_eq!(
             original.num_outputs(),
@@ -48,12 +61,11 @@ impl<'a> Estimator<'a> {
         let sim = Simulation::new(current, patterns);
         let original_outputs = original_sim.output_words(original);
         let current_outputs = sim.output_words(current);
-        let masks = (0..patterns.num_words())
-            .map(|w| patterns.word_mask(w))
-            .collect();
+        let masks = patterns.word_masks();
         Estimator {
             current,
             patterns,
+            fanouts,
             sim,
             original_outputs,
             current_outputs,
@@ -116,17 +128,29 @@ impl<'a> Estimator<'a> {
     /// Estimates all candidates, computing each node's influence once.
     ///
     /// Returns the per-candidate measurements, aligned with `lacs`.
+    ///
+    /// Both stages — one [`FlipInfluence`] per distinct candidate node,
+    /// then one [`Measurement`] per candidate — run on the
+    /// [`alsrac_rt::pool`] executor. Every work item is a pure function of
+    /// the shared read-only simulations, so the result is bit-identical to
+    /// the serial loop at any thread count.
     pub fn estimate_all(&self, lacs: &[Lac]) -> Vec<Measurement> {
-        let fanouts = self.current.fanout_map();
-        let mut influences: HashMap<NodeId, FlipInfluence> = HashMap::new();
-        lacs.iter()
-            .map(|lac| {
-                let influence = influences.entry(lac.node.node()).or_insert_with(|| {
-                    FlipInfluence::compute(self.current, &self.sim, &fanouts, lac.node.node())
-                });
-                self.estimate(lac, influence)
-            })
-            .collect()
+        // Distinct candidate nodes in first-appearance order (LACs are
+        // grouped by node, so this also keeps the dispatch cache-friendly).
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut slot: HashMap<NodeId, usize> = HashMap::new();
+        for lac in lacs {
+            if let Entry::Vacant(e) = slot.entry(lac.node.node()) {
+                e.insert(nodes.len());
+                nodes.push(lac.node.node());
+            }
+        }
+        let influences = pool::par_map(&nodes, |&node| {
+            FlipInfluence::compute(self.current, &self.sim, self.fanouts, node)
+        });
+        pool::par_map(lacs, |lac| {
+            self.estimate(lac, &influences[slot[&lac.node.node()]])
+        })
     }
 
     /// Picks the index of the candidate with the smallest error under
@@ -144,7 +168,9 @@ impl<'a> Estimator<'a> {
     }
 
     /// Ranks all candidates by (error, then largest estimated gain),
-    /// best first.
+    /// best first. Candidates whose metric value is NaN are excluded —
+    /// a NaN compares as "greater than everything" under a naive sort
+    /// recovery and must never outrank a real measurement.
     ///
     /// Returns `None` when the metric is unavailable (distance metric on a
     /// >63-output circuit).
@@ -159,18 +185,25 @@ impl<'a> Estimator<'a> {
             let value = m.value(metric)?;
             indexed.push((i, value, lacs[i].est_gain()));
         }
-        indexed.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.2.cmp(&a.2))
-        });
         Some(
-            indexed
+            rank_entries(indexed)
                 .into_iter()
-                .map(|(i, ..)| (i, measurements[i]))
+                .map(|i| (i, measurements[i]))
                 .collect(),
         )
     }
+}
+
+/// Orders `(index, error, gain)` entries best-first: ascending error
+/// (total order — no NaN surprises), ties broken by descending gain. NaN
+/// errors are dropped entirely rather than ranked arbitrarily.
+fn rank_entries(entries: Vec<(usize, f64, isize)>) -> Vec<usize> {
+    let mut ranked: Vec<(usize, f64, isize)> = entries
+        .into_iter()
+        .filter(|&(_, value, _)| !value.is_nan())
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(b.2.cmp(&a.2)));
+    ranked.into_iter().map(|(i, ..)| i).collect()
 }
 
 /// Evaluates a cover bitwise over the simulated divisor signal words.
@@ -218,7 +251,7 @@ mod tests {
         assert!(!lacs.is_empty());
 
         let est_patterns = PatternBuffer::exhaustive(6);
-        let estimator = Estimator::new(&aig, &aig, &est_patterns);
+        let estimator = Estimator::new(&aig, &aig, &est_patterns, &fanouts);
         let estimates = estimator.estimate_all(&lacs);
         for (lac, est) in lacs.iter().zip(&estimates) {
             let applied = lac.apply(&aig).expect("no cycle");
@@ -243,7 +276,8 @@ mod tests {
         let mut current = original.clone();
         current.set_output_lit(2, alsrac_aig::Lit::FALSE); // stuck carry
         let patterns = PatternBuffer::exhaustive(4);
-        let estimator = Estimator::new(&original, &current, &patterns);
+        let fanouts = current.fanout_map();
+        let estimator = Estimator::new(&original, &current, &patterns, &fanouts);
         let baseline = estimator.baseline();
         assert!(baseline.error_rate > 0.0);
     }
@@ -266,7 +300,7 @@ mod tests {
         );
         assert!(lacs.len() >= 2);
         let est_patterns = PatternBuffer::exhaustive(6);
-        let estimator = Estimator::new(&aig, &aig, &est_patterns);
+        let estimator = Estimator::new(&aig, &aig, &est_patterns, &fanouts);
         let (best_idx, best_m) = estimator
             .best_candidate(&lacs, ErrorMetric::ErrorRate)
             .expect("candidates exist");
@@ -275,6 +309,54 @@ mod tests {
             assert!(best_m.error_rate <= m.error_rate + 1e-12);
         }
         assert!(best_idx < lacs.len());
+    }
+
+    #[test]
+    fn estimate_all_is_bit_identical_across_thread_counts() {
+        let aig = alsrac_circuits::arith::wallace_multiplier(3);
+        let care_patterns = PatternBuffer::random(6, 8, 17);
+        let care_sim = Simulation::new(&aig, &care_patterns);
+        let fanouts = aig.fanout_map();
+        let lacs = generate_lacs(
+            &aig,
+            &care_sim,
+            &care_patterns,
+            &fanouts,
+            &LacConfig {
+                lac_limit: 3,
+                ..LacConfig::default()
+            },
+        );
+        assert!(lacs.len() >= 2, "need a few candidates");
+        let est_patterns = PatternBuffer::exhaustive(6);
+        let estimator = Estimator::new(&aig, &aig, &est_patterns, &fanouts);
+        let serial = alsrac_rt::pool::with_threads(1, || estimator.estimate_all(&lacs));
+        for threads in [2, 5] {
+            let parallel = alsrac_rt::pool::with_threads(threads, || estimator.estimate_all(&lacs));
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.num_patterns, p.num_patterns);
+                assert_eq!(s.error_rate.to_bits(), p.error_rate.to_bits());
+                assert_eq!(s.nmed.map(f64::to_bits), p.nmed.map(f64::to_bits));
+                assert_eq!(s.mred.map(f64::to_bits), p.mred.map(f64::to_bits));
+                assert_eq!(s.max_error_distance, p.max_error_distance);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_entries_never_outrank_real_candidates() {
+        // A NaN error with a huge gain must be dropped, not sorted first.
+        let entries = vec![(0, f64::NAN, 1000), (1, 0.5, 0), (2, 0.1, 0)];
+        assert_eq!(rank_entries(entries), vec![2, 1]);
+        // All-NaN input ranks nothing.
+        assert!(rank_entries(vec![(0, f64::NAN, 0)]).is_empty());
+    }
+
+    #[test]
+    fn rank_breaks_error_ties_by_largest_gain() {
+        let entries = vec![(0, 0.2, 1), (1, 0.2, 5), (2, 0.3, 9)];
+        assert_eq!(rank_entries(entries), vec![1, 0, 2]);
     }
 
     #[test]

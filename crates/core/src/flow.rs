@@ -107,6 +107,21 @@ impl FlowConfig {
                 reason: "must be positive".to_string(),
             });
         }
+        // Zero-pattern estimation/measurement buffers make every comparison
+        // vacuous (0 error lanes over 0 patterns), so every candidate would
+        // silently pass the threshold check. Reject up front.
+        if self.est_rounds == 0 {
+            return Err(FlowError::InvalidConfig {
+                parameter: "est_rounds",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.measure_rounds == 0 {
+            return Err(FlowError::InvalidConfig {
+                parameter: "measure_rounds",
+                reason: "must be positive".to_string(),
+            });
+        }
         if let Some(bias) = &self.input_bias {
             if bias.iter().any(|p| !(0.0..=1.0).contains(p)) {
                 return Err(FlowError::InvalidConfig {
@@ -243,7 +258,7 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         }
         empty_streak = 0;
 
-        let estimator = Estimator::new(original, &current, &est_patterns);
+        let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
         let Some(ranked) = estimator.ranked_candidates(&lacs, config.metric) else {
             break; // metric not evaluable — cannot happen after the arity check
         };
@@ -303,7 +318,13 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         });
     }
 
-    if config.optimize_after_apply && config.optimize_period > 1 {
+    // Final optimize only when some accepted LACs are still unoptimized:
+    // an untouched circuit (applied == 0) or a loop that ended exactly on
+    // an optimize_period boundary has nothing left to clean up.
+    if config.optimize_after_apply
+        && applied > 0
+        && !applied.is_multiple_of(config.optimize_period.max(1))
+    {
         current = alsrac_synth::optimize(&current);
     }
     let measured = if let Some(bias) = &config.input_bias {
@@ -517,6 +538,20 @@ mod tests {
                     ..FlowConfig::default()
                 },
                 "initial_rounds",
+            ),
+            (
+                FlowConfig {
+                    est_rounds: 0,
+                    ..FlowConfig::default()
+                },
+                "est_rounds",
+            ),
+            (
+                FlowConfig {
+                    measure_rounds: 0,
+                    ..FlowConfig::default()
+                },
+                "measure_rounds",
             ),
         ] {
             let err = run(&exact, &cfg).expect_err(param);

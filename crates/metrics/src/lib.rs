@@ -45,6 +45,7 @@ use std::error::Error as StdError;
 use std::fmt;
 
 use alsrac_aig::Aig;
+use alsrac_rt::{derive_indexed, pool, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
 /// Which error metric a flow is constrained by.
@@ -148,10 +149,8 @@ pub fn compare_output_words(
     masks: &[u64],
     num_patterns: usize,
 ) -> Measurement {
-    assert_eq!(exact.len(), approx.len(), "output count mismatch");
-    let num_outputs = exact.len();
-    let num_words = masks.len();
     if num_patterns == 0 {
+        assert_eq!(exact.len(), approx.len(), "output count mismatch");
         return Measurement {
             num_patterns: 0,
             error_rate: 0.0,
@@ -160,6 +159,69 @@ pub fn compare_output_words(
             max_error_distance: Some(0),
         };
     }
+    count_output_words(exact, approx, masks, num_patterns).finalize(exact.len())
+}
+
+/// Raw error counts of one comparison (or one pattern block of a blocked
+/// comparison), before normalization by the pattern count.
+///
+/// Blocked Monte-Carlo measurement computes one `PartialCounts` per
+/// pattern block and folds them **in block order** with
+/// [`PartialCounts::merge`]; because the block decomposition is
+/// independent of the thread count, the folded sums — including the
+/// floating-point ones — are bit-identical however many workers ran.
+#[derive(Clone, Copy, Debug)]
+struct PartialCounts {
+    patterns: usize,
+    error_lanes: u64,
+    /// `(sum_ed, sum_red, max_ed)`, present when outputs decode to ints.
+    distance: Option<(f64, f64, u64)>,
+}
+
+impl PartialCounts {
+    fn merge(self, other: PartialCounts) -> PartialCounts {
+        PartialCounts {
+            patterns: self.patterns + other.patterns,
+            error_lanes: self.error_lanes + other.error_lanes,
+            distance: match (self.distance, other.distance) {
+                (Some((ed_a, red_a, max_a)), Some((ed_b, red_b, max_b))) => {
+                    Some((ed_a + ed_b, red_a + red_b, max_a.max(max_b)))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    fn finalize(self, num_outputs: usize) -> Measurement {
+        let n = self.patterns as f64;
+        let (nmed, mred, max_ed) = match self.distance {
+            Some((sum_ed, sum_red, max_ed)) => {
+                let denom = ((1u64 << num_outputs) - 1) as f64;
+                (Some(sum_ed / n / denom), Some(sum_red / n), Some(max_ed))
+            }
+            None => (None, None, None),
+        };
+        Measurement {
+            num_patterns: self.patterns,
+            error_rate: self.error_lanes as f64 / n,
+            nmed,
+            mred,
+            max_error_distance: max_ed,
+        }
+    }
+}
+
+/// Counts error lanes and (when decodable) distance sums over one set of
+/// output words. The counting kernel behind [`compare_output_words`].
+fn count_output_words(
+    exact: &[Vec<u64>],
+    approx: &[Vec<u64>],
+    masks: &[u64],
+    num_patterns: usize,
+) -> PartialCounts {
+    assert_eq!(exact.len(), approx.len(), "output count mismatch");
+    let num_outputs = exact.len();
+    let num_words = masks.len();
 
     // Error rate: union of bit differences across outputs.
     let mut error_lanes = 0u64;
@@ -170,12 +232,9 @@ pub fn compare_output_words(
         }
         error_lanes += (diff & masks[w]).count_ones() as u64;
     }
-    let error_rate = error_lanes as f64 / num_patterns as f64;
 
     // Distance metrics: decode each lane to integers.
-    let decodable = num_outputs <= 63;
-    let (nmed, mred, max_ed) = if decodable {
-        let denom = ((1u64 << num_outputs) - 1) as f64;
+    let distance = if num_outputs <= 63 {
         let mut sum_ed = 0.0f64;
         let mut sum_red = 0.0f64;
         let mut max_ed = 0u64;
@@ -196,18 +255,15 @@ pub fn compare_output_words(
                 sum_red += ed as f64 / (y.max(1)) as f64;
             }
         }
-        let n = num_patterns as f64;
-        (Some(sum_ed / n / denom), Some(sum_red / n), Some(max_ed))
+        Some((sum_ed, sum_red, max_ed))
     } else {
-        (None, None, None)
+        None
     };
 
-    Measurement {
-        num_patterns,
-        error_rate,
-        nmed,
-        mred,
-        max_error_distance: max_ed,
+    PartialCounts {
+        patterns: num_patterns,
+        error_lanes,
+        distance,
     }
 }
 
@@ -231,9 +287,7 @@ pub fn measure(
     }
     let sim_exact = Simulation::new(exact, patterns);
     let sim_approx = Simulation::new(approx, patterns);
-    let masks: Vec<u64> = (0..patterns.num_words())
-        .map(|w| patterns.word_mask(w))
-        .collect();
+    let masks = patterns.word_masks();
     Ok(compare_output_words(
         &sim_exact.output_words(exact),
         &sim_approx.output_words(approx),
@@ -245,9 +299,77 @@ pub fn measure(
 /// Input count at or below which [`measure_auto`] evaluates exhaustively.
 pub const EXHAUSTIVE_INPUT_LIMIT: usize = 16;
 
+/// Patterns per block of a blocked Monte-Carlo measurement.
+///
+/// Small enough that a typical `measure_rounds` splits into several
+/// independently simulable blocks, large enough that per-block setup
+/// (pattern generation + two simulations) is amortized.
+pub const MEASURE_BLOCK_PATTERNS: usize = 8192;
+
+/// Measures on `monte_carlo_rounds` sampled patterns, split into blocks of
+/// [`MEASURE_BLOCK_PATTERNS`] simulated in parallel on the
+/// [`alsrac_rt::pool`] executor.
+///
+/// Block `b` draws its patterns from the sub-seed
+/// `derive_indexed(seed, Stream::Measurement, b)` and the partial counts
+/// are folded in block order, so the result depends only on
+/// `(circuits, monte_carlo_rounds, seed)` — never on the thread count.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::ArityMismatch`] if the circuits disagree in
+/// input or output counts.
+pub fn measure_sampled(
+    exact: &Aig,
+    approx: &Aig,
+    monte_carlo_rounds: usize,
+    seed: u64,
+) -> Result<Measurement, MetricsError> {
+    if exact.num_inputs() != approx.num_inputs() || exact.num_outputs() != approx.num_outputs() {
+        return Err(MetricsError::ArityMismatch {
+            exact: (exact.num_inputs(), exact.num_outputs()),
+            approx: (approx.num_inputs(), approx.num_outputs()),
+        });
+    }
+    if monte_carlo_rounds == 0 {
+        return Ok(compare_output_words(
+            &vec![Vec::new(); exact.num_outputs()],
+            &vec![Vec::new(); exact.num_outputs()],
+            &[],
+            0,
+        ));
+    }
+    let num_blocks = monte_carlo_rounds.div_ceil(MEASURE_BLOCK_PATTERNS);
+    let partials = pool::par_indices(num_blocks, |b| {
+        let size = if b + 1 == num_blocks {
+            monte_carlo_rounds - b * MEASURE_BLOCK_PATTERNS
+        } else {
+            MEASURE_BLOCK_PATTERNS
+        };
+        let patterns = PatternBuffer::random(
+            exact.num_inputs(),
+            size,
+            derive_indexed(seed, Stream::Measurement, b as u64),
+        );
+        let sim_exact = Simulation::new(exact, &patterns);
+        let sim_approx = Simulation::new(approx, &patterns);
+        count_output_words(
+            &sim_exact.output_words(exact),
+            &sim_approx.output_words(approx),
+            &patterns.word_masks(),
+            patterns.num_patterns(),
+        )
+    });
+    let total = partials
+        .into_iter()
+        .reduce(PartialCounts::merge)
+        .expect("at least one block when rounds > 0");
+    Ok(total.finalize(exact.num_outputs()))
+}
+
 /// Measures with exhaustive patterns when the circuit has at most
 /// [`EXHAUSTIVE_INPUT_LIMIT`] inputs, and `monte_carlo_rounds` seeded random
-/// patterns otherwise.
+/// patterns (blocked and parallel, see [`measure_sampled`]) otherwise.
 ///
 /// The paper measures with 10⁷ Monte-Carlo rounds; that is a flag away
 /// (pass a larger `monte_carlo_rounds`), the default harness uses fewer for
@@ -262,12 +384,12 @@ pub fn measure_auto(
     monte_carlo_rounds: usize,
     seed: u64,
 ) -> Result<Measurement, MetricsError> {
-    let patterns = if exact.num_inputs() <= EXHAUSTIVE_INPUT_LIMIT {
-        PatternBuffer::exhaustive(exact.num_inputs())
+    if exact.num_inputs() <= EXHAUSTIVE_INPUT_LIMIT {
+        let patterns = PatternBuffer::exhaustive(exact.num_inputs());
+        measure(exact, approx, &patterns)
     } else {
-        PatternBuffer::random(exact.num_inputs(), monte_carlo_rounds, seed)
-    };
-    measure(exact, approx, &patterns)
+        measure_sampled(exact, approx, monte_carlo_rounds, seed)
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +460,75 @@ mod tests {
             sampled.error_rate,
             exhaustive.error_rate
         );
+    }
+
+    /// A 17-input circuit pair (above EXHAUSTIVE_INPUT_LIMIT) with a real
+    /// error: drop the final carry of a 17-bit incrementer-ish adder tree.
+    fn wide_pair() -> (Aig, Aig) {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(9); // 18 inputs
+        let mut approx = exact.clone();
+        approx.set_output_lit(9, Lit::FALSE);
+        (exact, approx)
+    }
+
+    #[test]
+    fn sampled_measurement_is_identical_across_thread_counts() {
+        let (exact, approx) = wide_pair();
+        let rounds = MEASURE_BLOCK_PATTERNS * 2 + 513; // 3 blocks, ragged tail
+        let serial =
+            alsrac_rt::pool::with_threads(1, || measure_sampled(&exact, &approx, rounds, 11))
+                .expect("measure");
+        assert!(serial.error_rate > 0.0, "pair must actually disagree");
+        assert_eq!(serial.num_patterns, rounds);
+        for threads in [2, 4] {
+            let parallel = alsrac_rt::pool::with_threads(threads, || {
+                measure_sampled(&exact, &approx, rounds, 11)
+            })
+            .expect("measure");
+            assert_eq!(serial.num_patterns, parallel.num_patterns);
+            assert_eq!(serial.error_rate.to_bits(), parallel.error_rate.to_bits());
+            assert_eq!(
+                serial.nmed.map(f64::to_bits),
+                parallel.nmed.map(f64::to_bits)
+            );
+            assert_eq!(
+                serial.mred.map(f64::to_bits),
+                parallel.mred.map(f64::to_bits)
+            );
+            assert_eq!(serial.max_error_distance, parallel.max_error_distance);
+        }
+    }
+
+    #[test]
+    fn blocked_sampling_approaches_exhaustive() {
+        // The blocked estimator is still an unbiased sample of the true
+        // error: compare against exhaustive measurement on a small pair
+        // evaluated through the blocked path directly.
+        let (exact, approx) = pair();
+        let exhaustive = measure_auto(&exact, &approx, 0, 0).expect("measure");
+        let sampled = measure_sampled(&exact, &approx, 20_000, 3).expect("measure");
+        assert!(
+            (sampled.error_rate - exhaustive.error_rate).abs() < 0.02,
+            "sampled {} vs exact {}",
+            sampled.error_rate,
+            exhaustive.error_rate
+        );
+    }
+
+    #[test]
+    fn sampled_measurement_with_zero_rounds_is_empty() {
+        let (exact, approx) = wide_pair();
+        let m = measure_sampled(&exact, &approx, 0, 1).expect("measure");
+        assert_eq!(m.num_patterns, 0);
+        assert_eq!(m.error_rate, 0.0);
+    }
+
+    #[test]
+    fn sampled_measurement_checks_arity() {
+        let a = alsrac_circuits::arith::ripple_carry_adder(2);
+        let b = alsrac_circuits::arith::ripple_carry_adder(3);
+        let err = measure_sampled(&a, &b, 100, 1).expect_err("mismatch");
+        assert!(matches!(err, MetricsError::ArityMismatch { .. }));
     }
 
     #[test]

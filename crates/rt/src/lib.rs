@@ -6,7 +6,7 @@
 //! workspace can be fetched, so `alsrac-rt` has **zero external
 //! dependencies** and every future PR stays buildable by construction.
 //!
-//! Three facilities:
+//! Four facilities:
 //!
 //! * [`Rng`] — a seedable, deterministic PRNG (xoshiro256\*\* core, state
 //!   filled from the seed by SplitMix64). ALSRAC is a simulation-only
@@ -20,6 +20,10 @@
 //!   and a replayable seed printed with every failure.
 //! * [`bench`] — a wall-clock micro-bench timer (calibrated batches,
 //!   warmup, median/min/mean report) for `harness = false` bench targets.
+//! * [`pool`] — a data-parallel executor over scoped std threads
+//!   (`ALSRAC_THREADS`-sized, order-preserving `par_map`/`par_chunks`)
+//!   whose results are bit-identical to serial execution at any thread
+//!   count.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod pool;
 mod rng;
 
 pub use check::{check, u64s, usizes, Config, Gen};

@@ -198,6 +198,15 @@ impl PatternBuffer {
             Self::tail_mask_for(self.num_patterns)
         }
     }
+
+    /// The valid-lane masks of every word, in word order.
+    ///
+    /// Convenience for the measurement and estimation kernels, which fold
+    /// packed comparisons word by word (and, when parallelized, hand each
+    /// worker the same read-only mask slice).
+    pub fn word_masks(&self) -> Vec<u64> {
+        (0..self.num_words()).map(|w| self.word_mask(w)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +222,12 @@ mod tests {
             assert_eq!(a.input_words(i), b.input_words(i));
         }
         assert!((0..5).any(|i| a.input_words(i) != c.input_words(i)));
+    }
+
+    #[test]
+    fn word_masks_collects_every_word() {
+        let buf = PatternBuffer::random(2, 70, 3);
+        assert_eq!(buf.word_masks(), vec![u64::MAX, (1 << 6) - 1]);
     }
 
     #[test]

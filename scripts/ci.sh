@@ -15,7 +15,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
+echo "==> cargo test -q --offline (default thread pool)"
 cargo test -q --offline
+
+# The pool promises thread count is invisible to results: the whole suite
+# must also pass with the pool pinned serial via the env knob.
+echo "==> cargo test -q --offline (ALSRAC_THREADS=1)"
+ALSRAC_THREADS=1 cargo test -q --offline
 
 echo "CI green."

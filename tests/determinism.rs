@@ -83,6 +83,26 @@ fn same_seed_gives_bit_identical_flow_runs() {
 }
 
 #[test]
+fn parallel_flow_runs_are_bit_identical_to_serial() {
+    // The pool contract (`alsrac_rt::pool`): thread count is a throughput
+    // knob, never an observable input. A flow run with the pool forced
+    // serial must match runs at several worker counts bit for bit —
+    // history, estimated errors, and the final measurement included.
+    let circuit = catalog_circuit();
+    let config = flow_config(42);
+    let serial = alsrac_rt::pool::with_threads(1, || run(&circuit, &config).expect("flow"));
+    assert!(
+        serial.applied > 0,
+        "flow accepted no LACs; the parallel-equivalence check would be vacuous"
+    );
+    for threads in [2, 3, 8] {
+        let parallel =
+            alsrac_rt::pool::with_threads(threads, || run(&circuit, &config).expect("flow"));
+        assert_identical(&serial, &parallel);
+    }
+}
+
+#[test]
 fn different_seeds_give_different_pattern_streams() {
     // The flow's per-iteration care-pattern stream is keyed by the seed:
     // two seeds must disagree somewhere in the first few iterations' draws.
