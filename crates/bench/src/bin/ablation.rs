@@ -30,6 +30,7 @@ fn config_with(lac: LacConfig, threshold: f64, rounds: usize, patience: usize) -
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
+    options.init_trace("ablation");
     let threshold = 0.03;
     let circuits = ["cla32", "ksa32", "wal8"];
 
@@ -192,4 +193,5 @@ fn main() {
         &rows,
         &[1, 2],
     );
+    options.finish_trace();
 }

@@ -1,0 +1,593 @@
+//! Trace-report reader: turns a JSONL run trace (`--trace` /
+//! `ALSRAC_TRACE`, schema in DESIGN.md "Telemetry") into a human-readable
+//! per-phase time breakdown and error-trajectory summary, plus a compact
+//! `RUN_SUMMARY.json` for downstream tooling.
+//!
+//! Three modes:
+//!
+//! * `report <trace.jsonl> [--summary PATH]` — validate every record
+//!   against the schema, print the breakdown, write the summary JSON
+//!   (default `RUN_SUMMARY.json` next to the trace).
+//! * `report --smoke [PATH]` — run a tiny seeded ALSRAC flow with tracing
+//!   into `PATH` (or `ALSRAC_TRACE`, or a tempfile under `target/`), then
+//!   validate the trace *against the in-process `FlowResult`*: every
+//!   accepted iteration's `est_error` and the final `measured` block must
+//!   round-trip bit-for-bit. The CI smoke gate runs exactly this.
+//! * `report --overhead` — micro-benchmark the disabled-trace path (an
+//!   inert span + counter per work item against the bare kernel) and fail
+//!   if the overhead exceeds 2%. The CI gate that keeps tracing free for
+//!   untraced runs.
+//!
+//! Exits 0 on success, 1 on any validation or gate failure, 2 on usage
+//! errors.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use alsrac::flow::{self, FlowConfig};
+use alsrac_metrics::ErrorMetric;
+use alsrac_rt::bench::{format_ns, Options as BenchOptions, Runner};
+use alsrac_rt::json::{Arr, Json, Obj};
+use alsrac_rt::{trace, Rng};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => smoke(args.get(1).map(String::as_str)),
+        Some("--overhead") => overhead(),
+        Some(path) if !path.starts_with("--") => {
+            let summary = match args.get(1).map(String::as_str) {
+                Some("--summary") => match args.get(2) {
+                    Some(p) => p.clone(),
+                    None => return usage("--summary needs a path"),
+                },
+                Some(other) => return usage(&format!("unknown flag {other:?}")),
+                None => sibling_summary_path(path),
+            };
+            analyze(path, &summary)
+        }
+        _ => usage("missing trace path"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: report <trace.jsonl> [--summary PATH] | report --smoke [PATH] | report --overhead"
+    );
+    ExitCode::from(2)
+}
+
+/// `RUN_SUMMARY.json` in the same directory as the trace file.
+fn sibling_summary_path(trace_path: &str) -> String {
+    match trace_path.rfind('/') {
+        Some(i) => format!("{}/RUN_SUMMARY.json", &trace_path[..i]),
+        None => "RUN_SUMMARY.json".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------------
+
+/// The record types a trace may contain, with their required fields (see
+/// DESIGN.md "Telemetry" for the authoritative description).
+fn validate_record(rec: &Json) -> Result<(), String> {
+    let typ = rec
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("record has no string \"type\"")?;
+    let need_u64 = |key: &str| -> Result<u64, String> {
+        rec.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("{typ}: missing or non-integer {key:?}"))
+    };
+    let need_str = |key: &str| -> Result<&str, String> {
+        rec.get(key)
+            .and_then(Json::as_str)
+            .ok_or(format!("{typ}: missing or non-string {key:?}"))
+    };
+    let need_f64 = |key: &str| -> Result<f64, String> {
+        rec.get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("{typ}: missing or non-number {key:?}"))
+    };
+    let need_phase_ns = || -> Result<(), String> {
+        let phases = rec
+            .get("phase_ns")
+            .and_then(Json::as_obj)
+            .ok_or(format!("{typ}: missing \"phase_ns\" object"))?;
+        for (name, v) in phases {
+            v.as_u64()
+                .ok_or(format!("{typ}: phase_ns.{name} is not an integer"))?;
+        }
+        Ok(())
+    };
+    match typ {
+        "process" => {
+            need_str("binary")?;
+            need_str("scale")?;
+            need_u64("seeds")?;
+            need_u64("threads")?;
+            rec.get("full")
+                .and_then(Json::as_bool)
+                .ok_or("process: missing bool \"full\"")?;
+        }
+        "run_start" => {
+            need_u64("run")?;
+            need_str("flow")?;
+            need_str("circuit")?;
+            need_u64("seed")?;
+            need_str("metric")?;
+            need_f64("threshold")?;
+            for key in ["inputs", "outputs", "ands", "depth"] {
+                need_u64(key)?;
+            }
+        }
+        "iteration" => {
+            need_u64("run")?;
+            need_u64("iter")?;
+            need_u64("candidates")?;
+            need_u64("rounds")?;
+            need_phase_ns()?;
+            let accepted = rec
+                .get("accepted")
+                .and_then(Json::as_bool)
+                .ok_or("iteration: missing bool \"accepted\"")?;
+            if accepted {
+                need_str("lac")?;
+                need_f64("est_error")?;
+                need_u64("ands")?;
+                need_u64("depth")?;
+                rec.get("gain")
+                    .and_then(Json::as_f64)
+                    .ok_or("iteration: missing number \"gain\"")?;
+            } else {
+                need_str("reason")?;
+            }
+        }
+        "run_end" => {
+            for key in ["run", "iterations", "applied", "ands", "depth", "wall_ns"] {
+                need_u64(key)?;
+            }
+            need_phase_ns()?;
+            let measured = rec
+                .get("measured")
+                .and_then(Json::as_obj)
+                .ok_or("run_end: missing \"measured\" object")?;
+            measured
+                .get("num_patterns")
+                .and_then(Json::as_u64)
+                .ok_or("run_end: measured.num_patterns missing")?;
+            measured
+                .get("error_rate")
+                .and_then(Json::as_f64)
+                .ok_or("run_end: measured.error_rate missing")?;
+            for key in ["nmed", "mred", "max_error_distance"] {
+                let v = measured
+                    .get(key)
+                    .ok_or(format!("run_end: measured.{key} missing"))?;
+                if !v.is_null() && v.as_f64().is_none() {
+                    return Err(format!(
+                        "run_end: measured.{key} is neither number nor null"
+                    ));
+                }
+            }
+        }
+        "totals" => {
+            let spans = rec
+                .get("spans")
+                .and_then(Json::as_obj)
+                .ok_or("totals: missing \"spans\" object")?;
+            for (name, span) in spans {
+                for key in ["ns", "count", "threads"] {
+                    span.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("totals: spans.{name}.{key} missing"))?;
+                }
+            }
+            let counters = rec
+                .get("counters")
+                .and_then(Json::as_obj)
+                .ok_or("totals: missing \"counters\" object")?;
+            for (name, v) in counters {
+                v.as_u64()
+                    .ok_or(format!("totals: counter {name} is not an integer"))?;
+            }
+        }
+        other => return Err(format!("unknown record type {other:?}")),
+    }
+    Ok(())
+}
+
+/// Reads a trace file, parsing and schema-validating every line.
+fn load(path: &str) -> Result<Vec<Json>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Json::parse(line).map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        validate_record(&rec).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        records.push(rec);
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no records"));
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// Default mode: breakdown + RUN_SUMMARY.json
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct RunDigest {
+    flow: String,
+    circuit: String,
+    start_ands: u64,
+    end_ands: u64,
+    iterations: u64,
+    applied: u64,
+    wall_ns: u64,
+    error_rate: Option<f64>,
+    /// Accepted-iteration estimated errors, in order.
+    trajectory: Vec<f64>,
+}
+
+fn analyze(path: &str, summary_path: &str) -> ExitCode {
+    let records = match load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut runs: BTreeMap<u64, RunDigest> = BTreeMap::new();
+    let mut phase_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in &records {
+        let typ = rec.get("type").and_then(Json::as_str).expect("validated");
+        let run_of = |rec: &Json| rec.get("run").and_then(Json::as_u64).expect("validated");
+        match typ {
+            "run_start" => {
+                let digest = runs.entry(run_of(rec)).or_default();
+                digest.flow = rec.get("flow").and_then(Json::as_str).unwrap().to_string();
+                digest.circuit = rec
+                    .get("circuit")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                digest.start_ands = rec.get("ands").and_then(Json::as_u64).unwrap();
+            }
+            "iteration" => {
+                let digest = runs.entry(run_of(rec)).or_default();
+                if rec.get("accepted").and_then(Json::as_bool) == Some(true) {
+                    digest
+                        .trajectory
+                        .push(rec.get("est_error").and_then(Json::as_f64).unwrap());
+                }
+                if let Some(phases) = rec.get("phase_ns").and_then(Json::as_obj) {
+                    for (name, v) in phases {
+                        *phase_ns.entry(name.clone()).or_insert(0) += v.as_u64().unwrap();
+                    }
+                }
+            }
+            "run_end" => {
+                let digest = runs.entry(run_of(rec)).or_default();
+                digest.iterations = rec.get("iterations").and_then(Json::as_u64).unwrap();
+                digest.applied = rec.get("applied").and_then(Json::as_u64).unwrap();
+                digest.end_ands = rec.get("ands").and_then(Json::as_u64).unwrap();
+                digest.wall_ns = rec.get("wall_ns").and_then(Json::as_u64).unwrap();
+                digest.error_rate = rec
+                    .get("measured")
+                    .and_then(|m| m.get("error_rate"))
+                    .and_then(Json::as_f64);
+            }
+            "totals" => {
+                if let Some(cs) = rec.get("counters").and_then(Json::as_obj) {
+                    for (name, v) in cs {
+                        *counters.entry(name.clone()).or_insert(0) += v.as_u64().unwrap();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!("{}: {} records, {} runs", path, records.len(), runs.len());
+    println!("\nper-phase time (summed over per-iteration phase_ns):");
+    let total: u64 = phase_ns.values().sum();
+    for (name, &ns) in &phase_ns {
+        let share = if total > 0 {
+            100.0 * ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!("  {name:<12} {:>12}  {share:5.1}%", format_ns(ns as f64));
+    }
+    if !counters.is_empty() {
+        println!("\ncounters:");
+        for (name, v) in &counters {
+            println!("  {name:<24} {v}");
+        }
+    }
+    println!("\nruns:");
+    for (id, d) in &runs {
+        let traj = match (d.trajectory.first(), d.trajectory.last()) {
+            (Some(first), Some(last)) => {
+                format!(
+                    "est err {first:.5} -> {last:.5} over {} accepts",
+                    d.trajectory.len()
+                )
+            }
+            _ => "no accepted iterations".to_string(),
+        };
+        println!(
+            "  run {id}: {} {} ands {} -> {} ({} iters, {} applied, {}), {}; measured ER {}",
+            d.flow,
+            d.circuit,
+            d.start_ands,
+            d.end_ands,
+            d.iterations,
+            d.applied,
+            format_ns(d.wall_ns as f64),
+            traj,
+            d.error_rate
+                .map_or("n/a".to_string(), |e| format!("{e:.6}")),
+        );
+    }
+
+    let mut run_arr = Arr::new();
+    for (id, d) in &runs {
+        let mut traj = Arr::new();
+        for &e in &d.trajectory {
+            traj = traj.f64(e);
+        }
+        run_arr = run_arr.obj(
+            Obj::new()
+                .u64("run", *id)
+                .str("flow", &d.flow)
+                .str("circuit", &d.circuit)
+                .u64("start_ands", d.start_ands)
+                .u64("end_ands", d.end_ands)
+                .u64("iterations", d.iterations)
+                .u64("applied", d.applied)
+                .u64("wall_ns", d.wall_ns)
+                .opt_f64("error_rate", d.error_rate)
+                .arr("est_error_trajectory", traj),
+        );
+    }
+    let mut phases_obj = Obj::new();
+    for (name, &ns) in &phase_ns {
+        phases_obj = phases_obj.u64(name, ns);
+    }
+    let mut counters_obj = Obj::new();
+    for (name, &v) in &counters {
+        counters_obj = counters_obj.u64(name, v);
+    }
+    let summary = Obj::new()
+        .str("trace", path)
+        .u64("records", records.len() as u64)
+        .obj("phase_ns", phases_obj)
+        .obj("counters", counters_obj)
+        .arr("runs", run_arr)
+        .finish();
+    if let Err(e) = std::fs::write(summary_path, summary + "\n") {
+        eprintln!("error: cannot write {summary_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {summary_path}");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// --smoke: seeded flow, schema + bit-exactness gate
+// ---------------------------------------------------------------------------
+
+fn smoke(path_arg: Option<&str>) -> ExitCode {
+    let path = path_arg
+        .map(str::to_string)
+        .or_else(|| std::env::var("ALSRAC_TRACE").ok().filter(|p| !p.is_empty()))
+        .unwrap_or_else(|| "target/alsrac_smoke_trace.jsonl".to_string());
+    if let Err(e) = trace::enable_file(&path) {
+        eprintln!("error: cannot create {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // A configuration that reliably accepts LACs (same shape as the flow's
+    // own `saves_area_at_loose_threshold` test) — a smoke trace with zero
+    // accepted iterations would make the bit-exactness check vacuous.
+    let exact = alsrac_circuits::arith::kogge_stone_adder(4);
+    let config = FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.30,
+        seed: 7,
+        max_iterations: 120,
+        ..FlowConfig::default()
+    };
+    let result = match flow::run(&exact, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: smoke flow failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    trace::emit_totals();
+    trace::disable();
+    trace::reset();
+
+    let records = match load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Cross-check the trace against the in-process result, bit for bit.
+    let fail = |msg: String| -> ExitCode {
+        eprintln!("error: smoke mismatch: {msg}");
+        ExitCode::FAILURE
+    };
+    let accepted: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            r.get("type").and_then(Json::as_str) == Some("iteration")
+                && r.get("accepted").and_then(Json::as_bool) == Some(true)
+        })
+        .collect();
+    if accepted.is_empty() {
+        return fail("no accepted iterations — the bit-exactness check would be vacuous".into());
+    }
+    if accepted.len() != result.history.len() {
+        return fail(format!(
+            "{} accepted iteration records vs history of {}",
+            accepted.len(),
+            result.history.len()
+        ));
+    }
+    for (rec, hist) in accepted.iter().zip(&result.history) {
+        let est = rec.get("est_error").and_then(Json::as_f64).unwrap();
+        if est.to_bits() != hist.estimated_error.to_bits() {
+            return fail(format!(
+                "est_error {est:?} != history {:?} (bit-exact check)",
+                hist.estimated_error
+            ));
+        }
+        if rec.get("ands").and_then(Json::as_u64) != Some(hist.ands as u64) {
+            return fail(format!("iteration ands != history ands {}", hist.ands));
+        }
+        if rec.get("rounds").and_then(Json::as_u64) != Some(hist.rounds as u64) {
+            return fail(format!(
+                "iteration rounds != history rounds {}",
+                hist.rounds
+            ));
+        }
+    }
+    let run_end = records
+        .iter()
+        .find(|r| r.get("type").and_then(Json::as_str) == Some("run_end"));
+    let Some(run_end) = run_end else {
+        return fail("no run_end record".to_string());
+    };
+    let measured = run_end.get("measured").unwrap();
+    let er = measured.get("error_rate").and_then(Json::as_f64).unwrap();
+    if er.to_bits() != result.measured.error_rate.to_bits() {
+        return fail(format!(
+            "measured.error_rate {er:?} != {:?} (bit-exact check)",
+            result.measured.error_rate
+        ));
+    }
+    let checks = [
+        ("iterations", result.iterations as u64),
+        ("applied", result.applied as u64),
+        ("ands", result.approx.num_ands() as u64),
+    ];
+    for (key, want) in checks {
+        if run_end.get(key).and_then(Json::as_u64) != Some(want) {
+            return fail(format!("run_end.{key} != {want}"));
+        }
+    }
+    if measured.get("num_patterns").and_then(Json::as_u64)
+        != Some(result.measured.num_patterns as u64)
+    {
+        return fail("measured.num_patterns mismatch".to_string());
+    }
+    for (key, want) in [
+        ("nmed", result.measured.nmed),
+        ("mred", result.measured.mred),
+    ] {
+        let got = measured.get(key).unwrap();
+        match want {
+            Some(w) => {
+                if got.as_f64().map(f64::to_bits) != Some(w.to_bits()) {
+                    return fail(format!("measured.{key} mismatch"));
+                }
+            }
+            None => {
+                if !got.is_null() {
+                    return fail(format!("measured.{key} should be null"));
+                }
+            }
+        }
+    }
+    println!(
+        "smoke OK: {path}: {} records, {} accepted iterations, measured ER {} — \
+         all bit-exact against FlowResult",
+        records.len(),
+        accepted.len(),
+        result.measured.error_rate,
+    );
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// --overhead: disabled-path cost gate
+// ---------------------------------------------------------------------------
+
+/// Maximum tolerated disabled-trace overhead: 2%.
+const MAX_OVERHEAD_RATIO: f64 = 1.02;
+/// Measurement retries before declaring a regression (single-run medians on
+/// shared CI machines are noisy; a genuine regression fails every time).
+const OVERHEAD_ATTEMPTS: usize = 5;
+
+/// The work item both kernels share: enough PRNG steps that one inert span
+/// and counter per item is a realistic instrumentation density (one span
+/// per flow phase, not one per AND gate).
+fn kernel(rng: &mut Rng) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..512 {
+        acc ^= rng.next_u64();
+    }
+    acc
+}
+
+fn overhead() -> ExitCode {
+    assert!(
+        !trace::is_enabled(),
+        "--overhead measures the DISABLED path; unset ALSRAC_TRACE"
+    );
+    let options = BenchOptions {
+        samples: 11,
+        warmup_samples: 2,
+        target_sample: std::time::Duration::from_millis(10),
+    };
+    let mut best_ratio = f64::INFINITY;
+    for attempt in 1..=OVERHEAD_ATTEMPTS {
+        let mut runner = Runner::new(options.clone(), false);
+        let mut rng = Rng::from_seed(1);
+        let bare = runner
+            .bench("kernel (bare)", || {
+                std::hint::black_box(kernel(&mut rng));
+            })
+            .median_ns;
+        let mut rng = Rng::from_seed(1);
+        let traced = runner
+            .bench("kernel + disabled span/counter", || {
+                let span = trace::span("overhead_probe");
+                std::hint::black_box(kernel(&mut rng));
+                trace::add("overhead_probe", 1);
+                span.finish();
+            })
+            .median_ns;
+        let ratio = traced / bare.max(1.0);
+        best_ratio = best_ratio.min(ratio);
+        println!(
+            "attempt {attempt}: bare {} traced {} ratio {ratio:.4}",
+            format_ns(bare),
+            format_ns(traced)
+        );
+        if ratio <= MAX_OVERHEAD_RATIO {
+            println!("overhead OK: disabled-trace ratio {ratio:.4} <= {MAX_OVERHEAD_RATIO:.2}");
+            return ExitCode::SUCCESS;
+        }
+    }
+    eprintln!(
+        "error: disabled-trace overhead {best_ratio:.4} exceeds {MAX_OVERHEAD_RATIO:.2} \
+         after {OVERHEAD_ATTEMPTS} attempts"
+    );
+    ExitCode::FAILURE
+}

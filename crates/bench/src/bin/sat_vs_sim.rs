@@ -20,6 +20,7 @@ use alsrac_sim::{PatternBuffer, Simulation};
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
+    options.init_trace("sat_vs_sim");
     let mut rows = Vec::new();
     for bench in catalog::iscas_and_arith(options.scale)
         .into_iter()
@@ -102,4 +103,5 @@ fn main() {
         "\n'Approx-only accepts' counts divisor sets usable only under the\n\
          approximate care set — the approximation head-room ALSRAC exploits."
     );
+    options.finish_trace();
 }

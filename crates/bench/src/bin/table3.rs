@@ -11,6 +11,7 @@ use alsrac_circuits::catalog;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
+    options.init_trace("table3");
 
     let mut rows = Vec::new();
     for bench in catalog::iscas_and_arith(options.scale) {
@@ -60,4 +61,5 @@ fn main() {
             &[],
         );
     }
+    options.finish_trace();
 }

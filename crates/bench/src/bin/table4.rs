@@ -18,6 +18,7 @@ use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
+    options.init_trace("table4");
     // Paper-scale circuits re-optimize in batches to keep runtimes sane.
     let period = if options.scale == alsrac_circuits::catalog::Scale::Paper {
         8
@@ -113,4 +114,5 @@ fn main() {
         &rows,
         &[1, 2, 3, 4, 5, 6],
     );
+    options.finish_trace();
 }

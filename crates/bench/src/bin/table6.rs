@@ -13,6 +13,7 @@ use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
+    options.init_trace("table6");
     let period = if options.scale == alsrac_circuits::catalog::Scale::Paper {
         8
     } else {
@@ -84,4 +85,5 @@ fn main() {
         &rows,
         &[1, 2, 3, 4, 5],
     );
+    options.finish_trace();
 }

@@ -14,6 +14,7 @@ use alsrac_rt::pool;
 
 fn main() {
     let options = Options::parse(std::env::args().skip(1));
+    options.init_trace("table7");
     let period = if options.scale == alsrac_circuits::catalog::Scale::Paper {
         8
     } else {
@@ -104,4 +105,5 @@ fn main() {
             percent(l)
         );
     }
+    options.finish_trace();
 }

@@ -10,7 +10,10 @@
 //! * `--scale test|paper` — circuit sizes (default `test`, CI-friendly;
 //!   `paper` approaches Table III sizes),
 //! * `--seeds N` — averaging runs (default 1; the paper uses 3),
-//! * `--quick` / `--full` — threshold sweep density.
+//! * `--quick` / `--full` — threshold sweep density,
+//! * `--trace PATH` — write a JSONL run report (also honoured via the
+//!   `ALSRAC_TRACE` environment variable; the flag wins). See DESIGN.md
+//!   ("Telemetry") for the record schema and `report` for the reader.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,9 @@ pub struct Options {
     pub seeds: u64,
     /// Dense threshold sweep (the paper's full list) vs. a quick subset.
     pub full: bool,
+    /// JSONL trace sink path (`--trace`); `None` falls back to the
+    /// `ALSRAC_TRACE` environment variable.
+    pub trace: Option<String>,
 }
 
 impl Options {
@@ -42,6 +48,7 @@ impl Options {
             scale: Scale::Test,
             seeds: 1,
             full: false,
+            trace: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -60,16 +67,63 @@ impl Options {
                 }
                 "--quick" => options.full = false,
                 "--full" => options.full = true,
+                "--trace" => {
+                    let value = args.next().unwrap_or_default();
+                    if value.is_empty() {
+                        usage("--trace needs a path");
+                    }
+                    options.trace = Some(value);
+                }
                 other => usage(&format!("unknown flag {other:?}")),
             }
         }
         options
     }
+
+    /// Installs the trace sink requested by `--trace` (or, failing that,
+    /// `ALSRAC_TRACE`) and emits the opening `process` record. Call once at
+    /// the top of an experiment binary, paired with [`Options::finish_trace`]
+    /// before exit. Returns whether tracing is on.
+    pub fn init_trace(&self, binary: &'static str) -> bool {
+        let enabled = match &self.trace {
+            Some(path) => {
+                alsrac_rt::trace::enable_file(path)
+                    .unwrap_or_else(|e| usage(&format!("--trace {path}: cannot create: {e}")));
+                true
+            }
+            None => alsrac_rt::trace::init_from_env().is_some(),
+        };
+        if enabled {
+            alsrac_rt::trace::emit(
+                alsrac_rt::json::Obj::new()
+                    .str("type", "process")
+                    .str("binary", binary)
+                    .str(
+                        "scale",
+                        match self.scale {
+                            Scale::Test => "test",
+                            Scale::Paper => "paper",
+                        },
+                    )
+                    .u64("seeds", self.seeds)
+                    .bool("full", self.full)
+                    .u64("threads", alsrac_rt::pool::current_threads() as u64),
+            );
+        }
+        enabled
+    }
+
+    /// Emits the closing `totals` record and flushes the sink. No-op when
+    /// tracing is off.
+    pub fn finish_trace(&self) {
+        alsrac_rt::trace::emit_totals();
+        alsrac_rt::trace::flush();
+    }
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: <binary> [--scale test|paper] [--seeds N] [--quick|--full]");
+    eprintln!("usage: <binary> [--scale test|paper] [--seeds N] [--quick|--full] [--trace PATH]");
     std::process::exit(2)
 }
 

@@ -12,11 +12,12 @@
 
 use alsrac_aig::Aig;
 use alsrac_metrics::{measure, measure_auto, ErrorMetric};
-use alsrac_rt::{derive_indexed, derive_seed, Rng, Stream};
+use alsrac_rt::json::Obj;
+use alsrac_rt::{derive_indexed, derive_seed, trace, Rng, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
 use crate::estimate::Estimator;
-use crate::flow::{FlowResult, IterationRecord};
+use crate::flow::{rejected_record, run_end_record, run_start_record, FlowResult, IterationRecord};
 use crate::lac::{generate_lacs, LacConfig};
 use crate::FlowError;
 
@@ -95,6 +96,19 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         )
     };
 
+    let run_id = trace::next_run_id();
+    let flow_span = trace::span("flow");
+    if trace::is_enabled() {
+        trace::emit(run_start_record(
+            run_id,
+            "liu",
+            original,
+            config.seed,
+            config.metric,
+            config.threshold,
+        ));
+    }
+
     let mut current = original.cleaned();
     let mut best = current.clone();
     let mut temperature = config.initial_temperature;
@@ -102,14 +116,26 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
     let mut history = Vec::new();
 
     for step in 0..config.steps {
+        let iter = step + 1;
+        let reject = |reason: &str, candidates: usize, phases: Obj| {
+            if trace::is_enabled() {
+                trace::emit(
+                    rejected_record(run_id, iter, reason, candidates, config.proposal_rounds)
+                        .obj("phase_ns", phases),
+                );
+            }
+        };
         temperature *= config.cooling;
         // Propose: random LACs from a fresh small care simulation.
+        let care_span = trace::span("care_sim");
         let care_patterns = PatternBuffer::random(
             current.num_inputs(),
             config.proposal_rounds.max(1),
             derive_indexed(config.seed, Stream::Care, step as u64),
         );
         let care_sim = Simulation::new(&current, &care_patterns);
+        let care_ns = care_span.finish();
+        let lac_span = trace::span("lac_gen");
         let fanouts = current.fanout_map();
         let pool = generate_lacs(
             &current,
@@ -118,12 +144,16 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             &fanouts,
             &LacConfig::default(),
         );
+        let lac_ns = lac_span.finish();
+        let phases = || -> Obj { Obj::new().u64("care_sim", care_ns).u64("lac_gen", lac_ns) };
         if pool.is_empty() {
+            reject("no_candidates", 0, phases());
             continue;
         }
         let proposal = &pool[rng.gen_range(0..pool.len())];
 
         // Constraint check by batch estimation against the original.
+        let est_span = trace::span("estimate");
         let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
         let influence = alsrac_sim::FlipInfluence::compute(
             &current,
@@ -132,10 +162,12 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             proposal.node.node(),
         );
         let m = estimator.estimate(proposal, &influence);
+        let est_ns = est_span.finish();
         let Some(error) = m.value(config.metric) else {
             break;
         };
         if error > config.threshold {
+            reject("over_budget", pool.len(), phases().u64("estimate", est_ns));
             continue; // constraint violated: reject outright
         }
 
@@ -146,13 +178,25 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             rng.gen_bool(p.clamp(0.0, 1.0))
         };
         if !accept {
+            reject(
+                "metropolis_reject",
+                pool.len(),
+                phases().u64("estimate", est_ns),
+            );
             continue;
         }
+        let apply_span = trace::span("apply");
         current = match proposal.apply(&current) {
             Ok(aig) => aig,
-            Err(_) => continue, // cover hashed onto its own fanout: skip
+            Err(_) => {
+                apply_span.finish();
+                reject("cycle", pool.len(), phases().u64("estimate", est_ns));
+                continue; // cover hashed onto its own fanout: skip
+            }
         };
+        let apply_ns = apply_span.finish();
         applied += 1;
+        let opt_span = trace::span("optimize");
         if config.optimize_period > 0 && applied.is_multiple_of(config.optimize_period) {
             current = alsrac_synth::optimize(&current);
         }
@@ -164,6 +208,30 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         if current.num_ands() < best.num_ands() {
             best = alsrac_synth::optimize(&current);
         }
+        let opt_ns = opt_span.finish();
+        if trace::is_enabled() {
+            trace::emit(
+                Obj::new()
+                    .str("type", "iteration")
+                    .u64("run", run_id)
+                    .u64("iter", iter as u64)
+                    .bool("accepted", true)
+                    .u64("candidates", pool.len() as u64)
+                    .u64("rounds", config.proposal_rounds as u64)
+                    .str("lac", &proposal.kind())
+                    .f64("est_error", error)
+                    .i64("gain", proposal.est_gain() as i64)
+                    .u64("ands", current.num_ands() as u64)
+                    .u64("depth", u64::from(current.depth()))
+                    .obj(
+                        "phase_ns",
+                        phases()
+                            .u64("estimate", est_ns)
+                            .u64("apply", apply_ns)
+                            .u64("optimize", opt_ns),
+                    ),
+            );
+        }
     }
     let final_candidate = alsrac_synth::optimize(&current);
     if final_candidate.num_ands() < best.num_ands() {
@@ -171,6 +239,7 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
     }
 
     // Statistical certification of the returned design.
+    let measure_span = trace::span("measure");
     let measured = if original.num_inputs() <= alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
         let patterns = PatternBuffer::exhaustive(original.num_inputs());
         measure(original, &best, &patterns)?
@@ -182,6 +251,19 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             derive_seed(config.seed, Stream::Measurement),
         )?
     };
+    let measure_ns = measure_span.finish();
+    let wall_ns = flow_span.finish();
+    if trace::is_enabled() {
+        trace::emit(run_end_record(
+            run_id,
+            config.steps,
+            applied,
+            &best,
+            wall_ns,
+            measure_ns,
+            &measured,
+        ));
+    }
     Ok(FlowResult {
         approx: best,
         iterations: config.steps,

@@ -13,11 +13,13 @@
 
 use alsrac_aig::{Aig, NodeId};
 use alsrac_metrics::{measure, measure_auto, ErrorMetric};
+use alsrac_rt::json::Obj;
+use alsrac_rt::trace;
 use alsrac_sim::PatternBuffer;
 use alsrac_truthtable::{Cube, Sop};
 
 use crate::estimate::Estimator;
-use crate::flow::{FlowResult, IterationRecord};
+use crate::flow::{rejected_record, run_end_record, run_start_record, FlowResult, IterationRecord};
 use crate::lac::Lac;
 use crate::FlowError;
 
@@ -211,6 +213,19 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
         )
     };
 
+    let run_id = trace::next_run_id();
+    let flow_span = trace::span("flow");
+    if trace::is_enabled() {
+        trace::emit(run_start_record(
+            run_id,
+            "su",
+            original,
+            config.seed,
+            config.metric,
+            config.threshold,
+        ));
+    }
+
     let mut current = original.cleaned();
     let mut applied = 0usize;
     let mut iterations = 0usize;
@@ -218,31 +233,83 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
 
     while iterations < config.max_iterations {
         iterations += 1;
+        let rounds = est_patterns.num_patterns();
+        let est_span = trace::span("estimate");
         let fanouts = current.fanout_map();
         let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
+        let mut est_ns = est_span.finish();
+        let lac_span = trace::span("lac_gen");
         let lacs = generate_candidates(&current, &estimator, &fanouts, config.candidates_per_node);
+        let lac_ns = lac_span.finish();
         if lacs.is_empty() {
+            if trace::is_enabled() {
+                trace::emit(
+                    rejected_record(run_id, iterations, "no_candidates", 0, rounds).obj(
+                        "phase_ns",
+                        Obj::new().u64("estimate", est_ns).u64("lac_gen", lac_ns),
+                    ),
+                );
+            }
             break;
         }
-        let Some((best_idx, best_m)) = estimator.best_candidate(&lacs, config.metric) else {
+        let rank_span = trace::span("estimate");
+        let best = estimator.best_candidate(&lacs, config.metric);
+        est_ns += rank_span.finish();
+        let Some((best_idx, best_m)) = best else {
             break;
         };
         let best_error = best_m.value(config.metric).expect("checked up front");
         if best_error > config.threshold {
+            if trace::is_enabled() {
+                trace::emit(
+                    rejected_record(run_id, iterations, "over_budget", lacs.len(), rounds).obj(
+                        "phase_ns",
+                        Obj::new().u64("estimate", est_ns).u64("lac_gen", lac_ns),
+                    ),
+                );
+            }
             break;
         }
+        let apply_span = trace::span("apply");
         current = lacs[best_idx]
             .apply(&current)
             .expect("substitution targets are single non-TFO signals, so no cycle");
+        let apply_ns = apply_span.finish();
         applied += 1;
+        let opt_span = trace::span("optimize");
         if config.optimize_after_apply && applied.is_multiple_of(config.optimize_period.max(1)) {
             current = alsrac_synth::optimize(&current);
         }
+        let opt_ns = opt_span.finish();
         history.push(IterationRecord {
             estimated_error: best_error,
             ands: current.num_ands(),
             rounds: est_patterns.num_patterns(),
         });
+        if trace::is_enabled() {
+            trace::emit(
+                Obj::new()
+                    .str("type", "iteration")
+                    .u64("run", run_id)
+                    .u64("iter", iterations as u64)
+                    .bool("accepted", true)
+                    .u64("candidates", lacs.len() as u64)
+                    .u64("rounds", rounds as u64)
+                    .str("lac", &lacs[best_idx].kind())
+                    .f64("est_error", best_error)
+                    .i64("gain", lacs[best_idx].est_gain() as i64)
+                    .u64("ands", current.num_ands() as u64)
+                    .u64("depth", u64::from(current.depth()))
+                    .obj(
+                        "phase_ns",
+                        Obj::new()
+                            .u64("estimate", est_ns)
+                            .u64("lac_gen", lac_ns)
+                            .u64("apply", apply_ns)
+                            .u64("optimize", opt_ns),
+                    ),
+            );
+        }
         if current.num_ands() == 0 {
             break;
         }
@@ -256,6 +323,7 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
     {
         current = alsrac_synth::optimize(&current);
     }
+    let measure_span = trace::span("measure");
     let measured = if original.num_inputs() <= alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
         let patterns = PatternBuffer::exhaustive(original.num_inputs());
         measure(original, &current, &patterns)?
@@ -267,6 +335,13 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
             config.seed ^ 0x3EA5,
         )?
     };
+    let measure_ns = measure_span.finish();
+    let wall_ns = flow_span.finish();
+    if trace::is_enabled() {
+        trace::emit(run_end_record(
+            run_id, iterations, applied, &current, wall_ns, measure_ns, &measured,
+        ));
+    }
     Ok(FlowResult {
         approx: current,
         iterations,

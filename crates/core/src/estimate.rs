@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use alsrac_aig::{Aig, FanoutMap, NodeId};
 use alsrac_metrics::{compare_output_words, ErrorMetric, Measurement};
-use alsrac_rt::pool;
+use alsrac_rt::{pool, trace};
 use alsrac_sim::{FlipInfluence, PatternBuffer, Simulation};
 use alsrac_truthtable::Sop;
 
@@ -145,6 +145,11 @@ impl<'a> Estimator<'a> {
                 nodes.push(lac.node.node());
             }
         }
+        // Telemetry: every candidate beyond the first at a node reuses
+        // that node's influence — the cache hit the two-stage split buys.
+        trace::add("lacs_scored", lacs.len() as u64);
+        trace::add("influences_computed", nodes.len() as u64);
+        trace::add("influence_cache_hits", (lacs.len() - nodes.len()) as u64);
         let influences = pool::par_map(&nodes, |&node| {
             FlipInfluence::compute(self.current, &self.sim, self.fanouts, node)
         });
@@ -198,10 +203,12 @@ impl<'a> Estimator<'a> {
 /// (total order — no NaN surprises), ties broken by descending gain. NaN
 /// errors are dropped entirely rather than ranked arbitrarily.
 fn rank_entries(entries: Vec<(usize, f64, isize)>) -> Vec<usize> {
+    let before = entries.len();
     let mut ranked: Vec<(usize, f64, isize)> = entries
         .into_iter()
         .filter(|&(_, value, _)| !value.is_nan())
         .collect();
+    trace::add("nan_filtered", (before - ranked.len()) as u64);
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(b.2.cmp(&a.2)));
     ranked.into_iter().map(|(i, ..)| i).collect()
 }

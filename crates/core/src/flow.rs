@@ -2,7 +2,8 @@
 
 use alsrac_aig::Aig;
 use alsrac_metrics::{measure, measure_auto, ErrorMetric, Measurement};
-use alsrac_rt::{derive_indexed, derive_seed, Stream};
+use alsrac_rt::json::Obj;
+use alsrac_rt::{derive_indexed, derive_seed, trace, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
 use crate::estimate::Estimator;
@@ -194,6 +195,23 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         });
     }
 
+    // Telemetry: every record of this run is stamped with a process-unique
+    // id so concurrently running flows (pool workers in the table
+    // binaries) stay separable in the shared JSONL sink. All span/record
+    // work below is inert when no sink is installed.
+    let run_id = trace::next_run_id();
+    let flow_span = trace::span("flow");
+    if trace::is_enabled() {
+        trace::emit(run_start_record(
+            run_id,
+            "alsrac",
+            original,
+            config.seed,
+            config.metric,
+            config.threshold,
+        ));
+    }
+
     let mut current = original.cleaned();
     let mut rounds = config.initial_rounds;
     let mut empty_streak = 0usize;
@@ -226,16 +244,28 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
     while iterations < config.max_iterations {
         iterations += 1;
         // Fresh care patterns every iteration (Algorithm 3 line 3).
+        let care_span = trace::span("care_sim");
         let care_patterns = draw(
             current.num_inputs(),
             rounds,
             derive_indexed(config.seed, Stream::Care, iterations as u64),
         );
         let care_sim = Simulation::new(&current, &care_patterns);
+        let care_ns = care_span.finish();
+        let lac_span = trace::span("lac_gen");
         let fanouts = current.fanout_map();
         let lacs = generate_lacs(&current, &care_sim, &care_patterns, &fanouts, &config.lac);
+        let lac_ns = lac_span.finish();
 
         if lacs.is_empty() {
+            if trace::is_enabled() {
+                trace::emit(
+                    rejected_record(run_id, iterations, "no_candidates", 0, rounds).obj(
+                        "phase_ns",
+                        Obj::new().u64("care_sim", care_ns).u64("lac_gen", lac_ns),
+                    ),
+                );
+            }
             // Empty candidate set: the care set is too large — retry with
             // fresh patterns, shrinking N after `t` consecutive failures
             // (Algorithm 3 lines 3/10).
@@ -258,11 +288,14 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         }
         empty_streak = 0;
 
+        let est_span = trace::span("estimate");
         let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
         let Some(ranked) = estimator.ranked_candidates(&lacs, config.metric) else {
             break; // metric not evaluable — cannot happen after the arity check
         };
-        let Some((best_error, applied_aig)) = ranked
+        let est_ns = est_span.finish();
+        let apply_span = trace::span("apply");
+        let choice = ranked
             .iter()
             .find_map(|&(idx, m)| {
                 let error = m
@@ -279,10 +312,26 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
                 }
                 // Skip the rare candidate whose materialized cover hashes onto
                 // its own fanout (would create a cycle).
-                lacs[idx].apply(&current).ok().map(|aig| Some((error, aig)))
+                lacs[idx]
+                    .apply(&current)
+                    .ok()
+                    .map(|aig| Some((idx, error, aig)))
             })
-            .flatten()
-        else {
+            .flatten();
+        let apply_ns = apply_span.finish();
+        let Some((best_idx, best_error, applied_aig)) = choice else {
+            if trace::is_enabled() {
+                trace::emit(
+                    rejected_record(run_id, iterations, "over_budget", lacs.len(), rounds).obj(
+                        "phase_ns",
+                        Obj::new()
+                            .u64("care_sim", care_ns)
+                            .u64("lac_gen", lac_ns)
+                            .u64("estimate", est_ns)
+                            .u64("apply", apply_ns),
+                    ),
+                );
+            }
             // The literal Algorithm 3 breaks here (line 7). On wide-input
             // circuits the first feasible candidates can be poor while a
             // different pattern draw — or a *larger* care set — still has
@@ -308,14 +357,43 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         over_streak = 0;
         stuck_streak = 0;
         applied += 1;
+        let opt_span = trace::span("optimize");
         if config.optimize_after_apply && applied.is_multiple_of(config.optimize_period.max(1)) {
             current = alsrac_synth::optimize(&current);
         }
+        let opt_ns = opt_span.finish();
         history.push(IterationRecord {
             estimated_error: best_error,
             ands: current.num_ands(),
             rounds,
         });
+        if trace::is_enabled() {
+            // `est_error` is the same f64 as the history entry above, so the
+            // JSONL value round-trips bit-for-bit against `FlowResult`.
+            trace::emit(
+                Obj::new()
+                    .str("type", "iteration")
+                    .u64("run", run_id)
+                    .u64("iter", iterations as u64)
+                    .bool("accepted", true)
+                    .u64("candidates", lacs.len() as u64)
+                    .u64("rounds", rounds as u64)
+                    .str("lac", &lacs[best_idx].kind())
+                    .f64("est_error", best_error)
+                    .i64("gain", lacs[best_idx].est_gain() as i64)
+                    .u64("ands", current.num_ands() as u64)
+                    .u64("depth", u64::from(current.depth()))
+                    .obj(
+                        "phase_ns",
+                        Obj::new()
+                            .u64("care_sim", care_ns)
+                            .u64("lac_gen", lac_ns)
+                            .u64("estimate", est_ns)
+                            .u64("apply", apply_ns)
+                            .u64("optimize", opt_ns),
+                    ),
+            );
+        }
     }
 
     // Final optimize only when some accepted LACs are still unoptimized:
@@ -327,6 +405,7 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
     {
         current = alsrac_synth::optimize(&current);
     }
+    let measure_span = trace::span("measure");
     let measured = if let Some(bias) = &config.input_bias {
         let patterns = PatternBuffer::biased(
             original.num_inputs(),
@@ -346,6 +425,13 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             derive_seed(config.seed, Stream::Measurement),
         )?
     };
+    let measure_ns = measure_span.finish();
+    let wall_ns = flow_span.finish();
+    if trace::is_enabled() {
+        trace::emit(run_end_record(
+            run_id, iterations, applied, &current, wall_ns, measure_ns, &measured,
+        ));
+    }
     Ok(FlowResult {
         approx: current,
         iterations,
@@ -353,6 +439,83 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         measured,
         history,
     })
+}
+
+/// The `run_start` telemetry record: run identity plus the exact circuit
+/// and constraint the flow starts from. Shared with the baseline flows so
+/// every JSONL sink speaks one schema (DESIGN.md "Telemetry").
+pub(crate) fn run_start_record(
+    run: u64,
+    flow: &str,
+    original: &Aig,
+    seed: u64,
+    metric: ErrorMetric,
+    threshold: f64,
+) -> Obj {
+    Obj::new()
+        .str("type", "run_start")
+        .u64("run", run)
+        .str("flow", flow)
+        .str("circuit", original.name())
+        .u64("seed", seed)
+        .str("metric", &metric.to_string())
+        .f64("threshold", threshold)
+        .u64("inputs", original.num_inputs() as u64)
+        .u64("outputs", original.num_outputs() as u64)
+        .u64("ands", original.num_ands() as u64)
+        .u64("depth", u64::from(original.depth()))
+}
+
+/// The `run_end` telemetry record. The `measured` sub-object carries the
+/// same f64s the caller gets back in [`FlowResult::measured`], so the JSONL
+/// values round-trip bit-for-bit against the in-process result.
+pub(crate) fn run_end_record(
+    run: u64,
+    iterations: usize,
+    applied: usize,
+    current: &Aig,
+    wall_ns: u64,
+    measure_ns: u64,
+    measured: &Measurement,
+) -> Obj {
+    Obj::new()
+        .str("type", "run_end")
+        .u64("run", run)
+        .u64("iterations", iterations as u64)
+        .u64("applied", applied as u64)
+        .u64("ands", current.num_ands() as u64)
+        .u64("depth", u64::from(current.depth()))
+        .u64("wall_ns", wall_ns)
+        .obj("phase_ns", Obj::new().u64("measure", measure_ns))
+        .obj(
+            "measured",
+            Obj::new()
+                .u64("num_patterns", measured.num_patterns as u64)
+                .f64("error_rate", measured.error_rate)
+                .opt_f64("nmed", measured.nmed)
+                .opt_f64("mred", measured.mred)
+                .opt_u64("max_error_distance", measured.max_error_distance),
+        )
+}
+
+/// Common fields of a rejected-iteration telemetry record; the caller
+/// attaches the `phase_ns` object for the phases that actually ran. Shared
+/// with the baseline flows so every JSONL sink speaks one schema.
+pub(crate) fn rejected_record(
+    run: u64,
+    iter: usize,
+    reason: &str,
+    candidates: usize,
+    rounds: usize,
+) -> Obj {
+    Obj::new()
+        .str("type", "iteration")
+        .u64("run", run)
+        .u64("iter", iter as u64)
+        .bool("accepted", false)
+        .str("reason", reason)
+        .u64("candidates", candidates as u64)
+        .u64("rounds", rounds as u64)
 }
 
 #[cfg(test)]

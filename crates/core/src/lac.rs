@@ -64,6 +64,21 @@ impl Lac {
     pub fn est_gain(&self) -> isize {
         self.est_saved as isize - self.est_cost as isize
     }
+
+    /// Short classification of the change, for run telemetry: `"const0"` /
+    /// `"const1"` for constant substitutions (the cover reads no divisor)
+    /// and `"resub<k>"` for a `k`-divisor resubstitution.
+    pub fn kind(&self) -> String {
+        if self.divisors.is_empty() {
+            if self.cover.cubes().is_empty() {
+                "const0".to_string()
+            } else {
+                "const1".to_string()
+            }
+        } else {
+            format!("resub{}", self.divisors.len())
+        }
+    }
 }
 
 /// Configuration for [`generate_lacs`] (Algorithm 2).
@@ -293,5 +308,27 @@ mod tests {
             est_saved: 5,
         };
         assert_eq!(lac.est_gain(), 3);
+    }
+
+    #[test]
+    fn kind_classifies_constants_and_resubs() {
+        let mk = |divisors: Vec<alsrac_aig::Lit>, cover: Sop| Lac {
+            node: alsrac_aig::NodeId::new(5).lit(),
+            divisors,
+            cover,
+            est_cost: 0,
+            est_saved: 0,
+        };
+        assert_eq!(mk(Vec::new(), Sop::zero()).kind(), "const0");
+        assert_eq!(
+            mk(
+                Vec::new(),
+                Sop::new(vec![alsrac_truthtable::Cube::TAUTOLOGY])
+            )
+            .kind(),
+            "const1"
+        );
+        let d = alsrac_aig::NodeId::new(1).lit();
+        assert_eq!(mk(vec![d, d], Sop::zero()).kind(), "resub2");
     }
 }

@@ -45,7 +45,7 @@ use std::error::Error as StdError;
 use std::fmt;
 
 use alsrac_aig::Aig;
-use alsrac_rt::{derive_indexed, pool, Stream};
+use alsrac_rt::{derive_indexed, pool, trace, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
 /// Which error metric a flow is constrained by.
@@ -341,6 +341,9 @@ pub fn measure_sampled(
     }
     let num_blocks = monte_carlo_rounds.div_ceil(MEASURE_BLOCK_PATTERNS);
     let partials = pool::par_indices(num_blocks, |b| {
+        // Spans opened here run on pool workers, so the measurement time
+        // is attributed to the thread that actually simulated the block.
+        let block_span = trace::span("measure_block");
         let size = if b + 1 == num_blocks {
             monte_carlo_rounds - b * MEASURE_BLOCK_PATTERNS
         } else {
@@ -353,12 +356,15 @@ pub fn measure_sampled(
         );
         let sim_exact = Simulation::new(exact, &patterns);
         let sim_approx = Simulation::new(approx, &patterns);
-        count_output_words(
+        let counts = count_output_words(
             &sim_exact.output_words(exact),
             &sim_approx.output_words(approx),
             &patterns.word_masks(),
             patterns.num_patterns(),
-        )
+        );
+        trace::add("patterns_simulated", 2 * size as u64);
+        block_span.finish();
+        counts
     });
     let total = partials
         .into_iter()

@@ -1,0 +1,702 @@
+//! Minimal JSON: a chainable object/array builder for emitting records and
+//! a recursive-descent parser for reading them back.
+//!
+//! The workspace is hermetic (no `serde`), but the telemetry layer
+//! ([`crate::trace`]) speaks JSONL: one self-describing object per line so
+//! run reports survive crashes mid-run and tools can stream them. This
+//! module is the shared vocabulary — [`Obj`] / [`Arr`] build the records,
+//! [`Json::parse`] reads them back in `report`-style consumers and the CI
+//! smoke gate.
+//!
+//! Floating-point round trip: `f64` values are emitted with Rust's
+//! `Display`, which produces the shortest decimal string that parses back
+//! to the identical bits, and parsed with `str::parse::<f64>`, which is
+//! correctly rounded. Writing a finite `f64` and reading it back is
+//! therefore **bit-exact** — the property the flow-trace acceptance check
+//! relies on. Non-finite values are emitted as `null` (JSON has no NaN).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Chainable JSON object builder. Keys are emitted in call order; callers
+/// wanting deterministic output should add fields in a fixed order.
+#[derive(Clone, Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_into(&mut self.buf, name);
+        self.buf.push(':');
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, name: &str, value: u64) -> Obj {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    #[must_use]
+    pub fn i64(mut self, name: &str, value: i64) -> Obj {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite; finite values round-trip
+    /// bit-exactly, see the module docs).
+    #[must_use]
+    pub fn f64(mut self, name: &str, value: f64) -> Obj {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds an optional float field (`null` when absent or non-finite).
+    #[must_use]
+    pub fn opt_f64(self, name: &str, value: Option<f64>) -> Obj {
+        match value {
+            Some(v) => self.f64(name, v),
+            None => self.null(name),
+        }
+    }
+
+    /// Adds an optional unsigned integer field (`null` when absent).
+    #[must_use]
+    pub fn opt_u64(self, name: &str, value: Option<u64>) -> Obj {
+        match value {
+            Some(v) => self.u64(name, v),
+            None => self.null(name),
+        }
+    }
+
+    /// Adds a string field (escaped).
+    #[must_use]
+    pub fn str(mut self, name: &str, value: &str) -> Obj {
+        self.key(name);
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, name: &str, value: bool) -> Obj {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an explicit `null` field.
+    #[must_use]
+    pub fn null(mut self, name: &str) -> Obj {
+        self.key(name);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds a nested object field.
+    #[must_use]
+    pub fn obj(mut self, name: &str, value: Obj) -> Obj {
+        self.key(name);
+        self.buf.push_str(&value.finish());
+        self
+    }
+
+    /// Adds a nested array field.
+    #[must_use]
+    pub fn arr(mut self, name: &str, value: Arr) -> Obj {
+        self.key(name);
+        self.buf.push_str(&value.finish());
+        self
+    }
+
+    /// Closes the object and returns its JSON text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Obj {
+        Obj::new()
+    }
+}
+
+/// Chainable JSON array builder (companion to [`Obj`]).
+#[derive(Clone, Debug)]
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Arr {
+    /// Starts an empty array.
+    pub fn new() -> Arr {
+        Arr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Appends an object element.
+    #[must_use]
+    pub fn obj(mut self, value: Obj) -> Arr {
+        self.sep();
+        self.buf.push_str(&value.finish());
+        self
+    }
+
+    /// Appends a string element.
+    #[must_use]
+    pub fn str(mut self, value: &str) -> Arr {
+        self.sep();
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned integer element.
+    #[must_use]
+    pub fn u64(mut self, value: u64) -> Arr {
+        self.sep();
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a float element (`null` when non-finite).
+    #[must_use]
+    pub fn f64(mut self, value: f64) -> Arr {
+        self.sep();
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Closes the array and returns its JSON text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for Arr {
+    fn default() -> Arr {
+        Arr::new()
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\t' => buf.push_str("\\t"),
+            '\r' => buf.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// A parsed JSON value.
+///
+/// Numbers are stored as `f64`; integers up to 2⁵³ (far beyond any counter
+/// or nanosecond total this workspace records) are exact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion order is not preserved; keys are sorted).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses one JSON value from `text` (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message with the byte offset of the first
+    /// problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+            None => Err(format!("unexpected end of input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {text:?} at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let second = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((first - 0xD800) << 10)
+                                        + (second.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(first)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("invalid \\u escape ending at byte {}", self.pos)
+                            })?);
+                            continue; // hex4 already advanced
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 char (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(format!("truncated \\u escape at byte {}", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_json() {
+        let text = Obj::new()
+            .str("type", "iteration")
+            .u64("iter", 3)
+            .f64("est_error", 0.015625)
+            .bool("accepted", true)
+            .null("lac")
+            .obj(
+                "phase_ns",
+                Obj::new().u64("care_sim", 123).u64("estimate", 456),
+            )
+            .arr("tags", Arr::new().str("a\"b").u64(7))
+            .finish();
+        let parsed = Json::parse(&text).expect("valid");
+        assert_eq!(parsed.get("iter").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            parsed.get("est_error").and_then(Json::as_f64),
+            Some(0.015625)
+        );
+        assert_eq!(parsed.get("accepted").and_then(Json::as_bool), Some(true));
+        assert!(parsed.get("lac").expect("present").is_null());
+        assert_eq!(
+            parsed
+                .get("phase_ns")
+                .and_then(|p| p.get("estimate"))
+                .and_then(Json::as_u64),
+            Some(456)
+        );
+        assert_eq!(
+            parsed.get("tags").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [
+            0.1f64.to_bits(),
+            (1.0f64 / 3.0).to_bits(),
+            6.0f64.to_bits() / 16, // arbitrary bit pattern (subnormal-ish)
+            f64::MIN_POSITIVE.to_bits(),
+            f64::MAX.to_bits(),
+            (-0.0f64).to_bits(),
+            0x3FF5_5555_5555_5555,
+        ] {
+            let value = f64::from_bits(bits);
+            let text = Obj::new().f64("x", value).finish();
+            let parsed = Json::parse(&text).expect("valid");
+            let back = parsed.get("x").and_then(Json::as_f64).expect("number");
+            assert_eq!(back.to_bits(), value.to_bits(), "value {value:e}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let text = Obj::new()
+            .f64("x", f64::NAN)
+            .f64("y", f64::INFINITY)
+            .finish();
+        let parsed = Json::parse(&text).expect("valid");
+        assert!(parsed.get("x").expect("x").is_null());
+        assert!(parsed.get("y").expect("y").is_null());
+    }
+
+    #[test]
+    fn parses_standalone_values() {
+        assert_eq!(Json::parse("null").expect("ok"), Json::Null);
+        assert_eq!(Json::parse(" true ").expect("ok"), Json::Bool(true));
+        assert_eq!(Json::parse("-12.5e2").expect("ok"), Json::Num(-1250.0));
+        assert_eq!(
+            Json::parse("\"a\\nb\\u0041\"").expect("ok"),
+            Json::Str("a\nbA".to_string())
+        );
+        assert_eq!(
+            Json::parse("[1,2,[3]]")
+                .expect("ok")
+                .as_arr()
+                .map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "quote\" back\\slash \n tab\t ctrl\u{1} unicode\u{1F600}";
+        let text = Obj::new().str("s", nasty).finish();
+        let parsed = Json::parse(&text).expect("valid");
+        assert_eq!(parsed.get("s").and_then(Json::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // 😀 is U+1F600 = 😀.
+        let parsed = Json::parse("\"\\uD83D\\uDE00\"").expect("ok");
+        assert_eq!(parsed.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "nul",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn integer_accessor_rejects_fractions() {
+        let parsed = Json::parse("{\"a\":1.5,\"b\":-1,\"c\":42}").expect("ok");
+        assert_eq!(parsed.get("a").and_then(Json::as_u64), None);
+        assert_eq!(parsed.get("b").and_then(Json::as_u64), None);
+        assert_eq!(parsed.get("c").and_then(Json::as_u64), Some(42));
+    }
+}

@@ -24,6 +24,11 @@
 //!   (`ALSRAC_THREADS`-sized, order-preserving `par_map`/`par_chunks`)
 //!   whose results are bit-identical to serial execution at any thread
 //!   count.
+//! * [`trace`] — flow telemetry: nestable thread-aware wall-clock spans,
+//!   named counters, and a JSONL run-report sink behind the `ALSRAC_TRACE`
+//!   env knob, compiling down to one atomic load when disabled.
+//! * [`json`] — the zero-dependency JSON builder/parser the trace layer
+//!   (and its report tooling) speaks; finite `f64`s round-trip bit-exactly.
 //!
 //! # Example
 //!
@@ -45,8 +50,10 @@
 
 pub mod bench;
 pub mod check;
+pub mod json;
 pub mod pool;
 mod rng;
+pub mod trace;
 
 pub use check::{check, u64s, usizes, Config, Gen};
 pub use rng::{derive_indexed, derive_seed, split_mix64, Rng, Stream};

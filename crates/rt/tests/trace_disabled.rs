@@ -1,0 +1,62 @@
+//! Pins the `alsrac_rt::trace` disabled-path contract: with no sink
+//! installed, spans, counters, and the enabled check must not allocate at
+//! all. Flows leave their instrumentation in place permanently, so this is
+//! what keeps tracing free for every untraced run.
+//!
+//! The counting allocator below is the one place the workspace uses
+//! `unsafe` (its `lib.rs` crates all `forbid(unsafe_code)`): `GlobalAlloc`
+//! cannot be implemented without it, and a test binary is the only way to
+//! observe "allocates nothing" from safe code.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_trace_calls_allocate_nothing() {
+    assert!(
+        !alsrac_rt::trace::is_enabled(),
+        "this test requires tracing to be disabled"
+    );
+    // Warm up thread-locals and lazy statics outside the measured window.
+    let warmup = alsrac_rt::trace::span("warmup");
+    drop(warmup);
+    alsrac_rt::trace::add("warmup", 1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let span = alsrac_rt::trace::span("disabled_span");
+        assert_eq!(span.finish(), 0);
+        alsrac_rt::trace::add("disabled_counter", i);
+        assert!(!alsrac_rt::trace::is_enabled());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled trace path allocated {} times",
+        after - before
+    );
+}

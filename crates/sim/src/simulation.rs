@@ -53,6 +53,10 @@ impl Simulation {
                 }
             }
         }
+        // Telemetry: simulation volume is the flow's dominant cost driver,
+        // so the sweep count and word throughput are worth a counter each.
+        alsrac_rt::trace::add("simulations", 1);
+        alsrac_rt::trace::add("sim_node_words", (aig.num_nodes() * num_words) as u64);
         Simulation {
             num_words,
             num_patterns: patterns.num_patterns(),

@@ -2,25 +2,84 @@
 # Tier-1 verification gate, fully offline (the build environment cannot
 # fetch crates; the workspace is hermetic by policy — see DESIGN.md).
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [step]
+#
+# Steps (default `all` runs every one in order):
+#   fmt     cargo fmt --check
+#   clippy  cargo clippy with warnings denied
+#   build   release build of the whole workspace
+#   test    test suite at the default thread pool, then pinned to
+#           ALSRAC_THREADS=1 (serial) and ALSRAC_THREADS=3 (odd worker
+#           count, so non-divisible work splits are exercised)
+#   smoke   telemetry gate: a seeded flow run under ALSRAC_TRACE must
+#           produce schema-valid JSONL that matches the flow's returned
+#           stats bit for bit, and the disabled-trace overhead on a hot
+#           loop must stay within 2% (see `report --smoke|--overhead`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+step="${1:-all}"
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+run_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+}
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+run_clippy() {
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+}
 
-echo "==> cargo test -q --offline (default thread pool)"
-cargo test -q --offline
+run_build() {
+    echo "==> cargo build --release --offline"
+    cargo build --release --offline
+}
 
-# The pool promises thread count is invisible to results: the whole suite
-# must also pass with the pool pinned serial via the env knob.
-echo "==> cargo test -q --offline (ALSRAC_THREADS=1)"
-ALSRAC_THREADS=1 cargo test -q --offline
+run_test() {
+    echo "==> cargo test -q --offline (default thread pool)"
+    cargo test -q --offline
 
-echo "CI green."
+    # The pool promises thread count is invisible to results: the whole
+    # suite must also pass with the pool pinned serial and pinned to an
+    # odd worker count via the env knob.
+    echo "==> cargo test -q --offline (ALSRAC_THREADS=1)"
+    ALSRAC_THREADS=1 cargo test -q --offline
+
+    echo "==> cargo test -q --offline (ALSRAC_THREADS=3)"
+    ALSRAC_THREADS=3 cargo test -q --offline
+}
+
+run_smoke() {
+    # `report` is built by the build step; build it here too so the smoke
+    # step is self-contained when invoked alone.
+    cargo build --release --offline -p alsrac-bench --bin report
+
+    echo "==> trace smoke gate (schema + bit-exactness)"
+    smoke_trace="$(mktemp -t alsrac_smoke_XXXXXX.jsonl)"
+    trap 'rm -f "$smoke_trace"' EXIT
+    ALSRAC_TRACE="$smoke_trace" target/release/report --smoke
+
+    echo "==> disabled-trace overhead gate (<= 2%)"
+    target/release/report --overhead
+}
+
+case "$step" in
+fmt) run_fmt ;;
+clippy) run_clippy ;;
+build) run_build ;;
+test) run_test ;;
+smoke) run_smoke ;;
+all)
+    run_fmt
+    run_clippy
+    run_build
+    run_test
+    run_smoke
+    ;;
+*)
+    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI green ($step)."

@@ -146,6 +146,9 @@ fn main() -> ExitCode {
 }
 
 fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = alsrac_suite::rt::trace::init_from_env() {
+        eprintln!("tracing to {path} (ALSRAC_TRACE)");
+    }
     let exact = load(args)?;
     eprintln!("loaded: {exact:?}");
 
@@ -232,5 +235,8 @@ fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
         save(path, &result.approx)?;
         eprintln!("wrote {path}");
     }
+    // No-ops unless ALSRAC_TRACE installed a sink above.
+    alsrac_suite::rt::trace::emit_totals();
+    alsrac_suite::rt::trace::flush();
     Ok(())
 }

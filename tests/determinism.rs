@@ -103,6 +103,57 @@ fn parallel_flow_runs_are_bit_identical_to_serial() {
 }
 
 #[test]
+fn ragged_measurement_blocks_are_identical_at_odd_thread_counts() {
+    // `measure_sampled` splits the pattern budget into fixed-size blocks;
+    // a rounds count that is not a multiple of the block size leaves a
+    // ragged tail, and an odd worker count makes the block-to-thread
+    // assignment non-uniform. Neither may leak into the fold: partial
+    // counts are combined in block order regardless of which worker
+    // produced them.
+    use alsrac_suite::metrics::{measure_sampled, MEASURE_BLOCK_PATTERNS};
+
+    let exact = catalog_circuit();
+    let approx = {
+        let config = flow_config(42);
+        run(&exact, &config).expect("flow").approx
+    };
+    let rounds = MEASURE_BLOCK_PATTERNS * 4 + 513; // 5 blocks, ragged tail
+    let serial = alsrac_rt::pool::with_threads(1, || {
+        measure_sampled(&exact, &approx, rounds, 42).expect("measure")
+    });
+    assert_eq!(serial.num_patterns, rounds);
+    assert!(
+        serial.error_rate > 0.0,
+        "approximation must actually disagree with the exact circuit"
+    );
+    for threads in [3, 7] {
+        let parallel = alsrac_rt::pool::with_threads(threads, || {
+            measure_sampled(&exact, &approx, rounds, 42).expect("measure")
+        });
+        assert_eq!(serial.num_patterns, parallel.num_patterns);
+        assert_eq!(
+            serial.error_rate.to_bits(),
+            parallel.error_rate.to_bits(),
+            "{threads} threads: measured error rate differs from serial"
+        );
+        assert_eq!(
+            serial.nmed.map(f64::to_bits),
+            parallel.nmed.map(f64::to_bits),
+            "{threads} threads: NMED differs from serial"
+        );
+        assert_eq!(
+            serial.mred.map(f64::to_bits),
+            parallel.mred.map(f64::to_bits),
+            "{threads} threads: MRED differs from serial"
+        );
+        assert_eq!(
+            serial.max_error_distance, parallel.max_error_distance,
+            "{threads} threads: max error distance differs from serial"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_give_different_pattern_streams() {
     // The flow's per-iteration care-pattern stream is keyed by the seed:
     // two seeds must disagree somewhere in the first few iterations' draws.
