@@ -1,0 +1,217 @@
+//! Full-sweep vs incremental simulation-engine benchmark.
+//!
+//! Runs the ALSRAC flow twice per bundled circuit — once with
+//! `FlowConfig::full_resim` (re-simulate both circuits from scratch every
+//! iteration, full-TFO-cone flip influences) and once with the incremental
+//! engine (carried estimation simulation with cone-local updates,
+//! event-driven scratch-arena influences). Both engines are exact, so the
+//! two flow results are asserted bit-identical before anything is
+//! recorded; the benchmark then compares *work*, measured in node-words
+//! simulated (`sim_node_words` + `influence_words_computed` trace
+//! counters), alongside wall time.
+//!
+//! Results land in `BENCH_sim.json` (hand-rolled JSON; the workspace has
+//! no serializer by design). `--smoke` restricts the run to one small
+//! circuit with a short iteration budget for CI, and still enforces the
+//! same invariants: bit-identical flow output, `sim_words_saved > 0`, and
+//! strictly fewer node-words than the full-sweep baseline.
+
+use std::time::Instant;
+
+use alsrac::flow::{run, FlowConfig, FlowResult};
+use alsrac_circuits::catalog::{iscas_and_arith, Benchmark, Scale};
+use alsrac_metrics::ErrorMetric;
+use alsrac_rt::trace;
+
+/// Work and wall-time measured for one flow run under one engine.
+struct EngineRun {
+    secs: f64,
+    /// Node-words evaluated by `Simulation::new`/`Simulation::update`.
+    sim_node_words: u64,
+    /// Node-words evaluated while computing flip-influence masks.
+    influence_words: u64,
+    /// Node-words the incremental engine copied instead of recomputing.
+    words_saved: u64,
+    /// Cone-local `Simulation::update` calls (0 for the full engine).
+    incremental_updates: u64,
+    /// Influence propagations that quenched before reaching any output.
+    early_exits: u64,
+    result: FlowResult,
+}
+
+fn counter(counters: &[(String, u64)], name: &str) -> u64 {
+    counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+fn flow_config(max_iterations: usize, full_resim: bool) -> FlowConfig {
+    FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.10,
+        max_iterations,
+        seed: 42,
+        full_resim,
+        ..FlowConfig::default()
+    }
+}
+
+fn run_engine(bench: &Benchmark, max_iterations: usize, full_resim: bool) -> EngineRun {
+    // Counters only record while tracing is enabled; a sink writer keeps
+    // the JSONL records out of the way while the totals accumulate.
+    trace::enable_writer(Box::new(std::io::sink()));
+    trace::reset();
+    let config = flow_config(max_iterations, full_resim);
+    let start = Instant::now();
+    let result = run(&bench.aig, &config).expect("flow");
+    let secs = start.elapsed().as_secs_f64();
+    let (_, counters) = trace::snapshot();
+    trace::disable();
+    EngineRun {
+        secs,
+        sim_node_words: counter(&counters, "sim_node_words"),
+        influence_words: counter(&counters, "influence_words_computed"),
+        words_saved: counter(&counters, "sim_words_saved"),
+        incremental_updates: counter(&counters, "sim_incremental_updates"),
+        early_exits: counter(&counters, "influence_early_exits"),
+        result,
+    }
+}
+
+/// Bit-identical comparison of the two engines' flow results: iteration
+/// and acceptance counts, the accepted-LAC history (raw f64 bits), and
+/// the final measurement.
+fn assert_identical(name: &str, full: &FlowResult, inc: &FlowResult) {
+    assert_eq!(full.iterations, inc.iterations, "{name}: iterations differ");
+    assert_eq!(full.applied, inc.applied, "{name}: applied counts differ");
+    assert_eq!(
+        full.approx.num_ands(),
+        inc.approx.num_ands(),
+        "{name}: final sizes differ"
+    );
+    assert_eq!(
+        full.history.len(),
+        inc.history.len(),
+        "{name}: history lengths differ"
+    );
+    for (i, (a, b)) in full.history.iter().zip(&inc.history).enumerate() {
+        assert_eq!(
+            a.estimated_error.to_bits(),
+            b.estimated_error.to_bits(),
+            "{name}: accepted LAC {i}: estimated errors differ"
+        );
+        assert_eq!(a.ands, b.ands, "{name}: accepted LAC {i}: sizes differ");
+    }
+    assert_eq!(
+        full.measured.error_rate.to_bits(),
+        inc.measured.error_rate.to_bits(),
+        "{name}: measured error rates differ"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    let max_iterations = if smoke { 12 } else { 60 };
+    let cases: Vec<Benchmark> = if smoke {
+        iscas_and_arith(Scale::Test)
+            .into_iter()
+            .filter(|b| b.paper_name == "c1908")
+            .collect()
+    } else {
+        iscas_and_arith(Scale::Test)
+    };
+
+    let mut entries = Vec::new();
+    for bench in &cases {
+        let full = run_engine(bench, max_iterations, true);
+        let inc = run_engine(bench, max_iterations, false);
+        assert_identical(bench.paper_name, &full.result, &inc.result);
+
+        let full_words = full.sim_node_words + full.influence_words;
+        let inc_words = inc.sim_node_words + inc.influence_words;
+        assert!(
+            inc.words_saved > 0,
+            "{}: incremental engine saved no words",
+            bench.paper_name
+        );
+        assert!(
+            inc_words < full_words,
+            "{}: incremental engine simulated {inc_words} node-words, \
+             full-sweep baseline {full_words}",
+            bench.paper_name
+        );
+
+        eprintln!(
+            "{}: {} ANDs, {} applied in {} iters; node-words {} -> {} ({:.2}x), \
+             wall {:.4}s -> {:.4}s ({:.2}x), {} early exits",
+            bench.paper_name,
+            bench.aig.num_ands(),
+            inc.result.applied,
+            inc.result.iterations,
+            full_words,
+            inc_words,
+            full_words as f64 / inc_words.max(1) as f64,
+            full.secs,
+            inc.secs,
+            full.secs / inc.secs,
+            inc.early_exits,
+        );
+        entries.push((bench, full, inc));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"max_iterations\": {max_iterations},\n"));
+    json.push_str("  \"seed\": 42,\n");
+    json.push_str("  \"work_unit\": \"node-words simulated (64 patterns/word)\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, (bench, full, inc)) in entries.iter().enumerate() {
+        let full_words = full.sim_node_words + full.influence_words;
+        let inc_words = inc.sim_node_words + inc.influence_words;
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"circuit\": \"{}\",\n", bench.paper_name));
+        json.push_str(&format!("      \"ands\": {},\n", bench.aig.num_ands()));
+        json.push_str(&format!(
+            "      \"iterations\": {},\n",
+            inc.result.iterations
+        ));
+        json.push_str(&format!("      \"applied\": {},\n", inc.result.applied));
+        json.push_str(&format!(
+            "      \"full\": {{\"secs\": {:.6}, \"sim_node_words\": {}, \"influence_words\": {}}},\n",
+            full.secs, full.sim_node_words, full.influence_words
+        ));
+        json.push_str(&format!(
+            "      \"incremental\": {{\"secs\": {:.6}, \"sim_node_words\": {}, \
+             \"influence_words\": {}, \"sim_words_saved\": {}, \
+             \"incremental_updates\": {}, \"early_exits\": {}}},\n",
+            inc.secs,
+            inc.sim_node_words,
+            inc.influence_words,
+            inc.words_saved,
+            inc.incremental_updates,
+            inc.early_exits
+        ));
+        json.push_str(&format!(
+            "      \"node_words_ratio\": {:.3},\n",
+            full_words as f64 / inc_words.max(1) as f64
+        ));
+        json.push_str(&format!("      \"speedup\": {:.3}\n", full.secs / inc.secs));
+        json.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

@@ -8,13 +8,14 @@
 //! new function disagrees with the current one, and each such lane flips
 //! exactly the outputs the influence masks say it flips.
 
+use std::borrow::Cow;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use alsrac_aig::{Aig, FanoutMap, NodeId};
 use alsrac_metrics::{compare_output_words, ErrorMetric, Measurement};
 use alsrac_rt::{pool, trace};
-use alsrac_sim::{FlipInfluence, PatternBuffer, Simulation};
+use alsrac_sim::{FlipInfluence, InfluenceScratch, OutputWords, PatternBuffer, Simulation};
 use alsrac_truthtable::Sop;
 
 use crate::lac::Lac;
@@ -31,9 +32,10 @@ pub struct Estimator<'a> {
     patterns: &'a PatternBuffer,
     fanouts: &'a FanoutMap,
     sim: Simulation,
-    original_outputs: Vec<Vec<u64>>,
-    current_outputs: Vec<Vec<u64>>,
+    original_outputs: Cow<'a, OutputWords>,
+    current_outputs: OutputWords,
     masks: Vec<u64>,
+    full_influence: bool,
 }
 
 impl<'a> Estimator<'a> {
@@ -41,6 +43,12 @@ impl<'a> Estimator<'a> {
     ///
     /// `fanouts` must be the fanout map of `current` (the same snapshot —
     /// it is used to walk TFO cones during influence computation).
+    ///
+    /// The estimation patterns are fixed across flow iterations, so callers
+    /// in a loop should simulate the original once and carry the current
+    /// simulation forward incrementally via [`Estimator::with_state`] /
+    /// [`Estimator::into_simulation`]; this constructor re-simulates both
+    /// circuits from scratch.
     ///
     /// # Panics
     ///
@@ -58,8 +66,48 @@ impl<'a> Estimator<'a> {
             "output arity"
         );
         let original_sim = Simulation::new(original, patterns);
+        let original_outputs = Cow::Owned(original_sim.output_words(original));
         let sim = Simulation::new(current, patterns);
-        let original_outputs = original_sim.output_words(original);
+        Estimator::assemble(original_outputs, sim, current, patterns, fanouts)
+    }
+
+    /// Builds an estimator from precomputed state: the original circuit's
+    /// output words (simulated once per run — the reference never changes)
+    /// and an existing simulation of `current` (typically carried across
+    /// iterations via [`Simulation::update`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` does not cover `current` or the shapes disagree.
+    pub fn with_state(
+        original_outputs: &'a OutputWords,
+        sim: Simulation,
+        current: &'a Aig,
+        patterns: &'a PatternBuffer,
+        fanouts: &'a FanoutMap,
+    ) -> Estimator<'a> {
+        assert_eq!(
+            original_outputs.num_outputs(),
+            current.num_outputs(),
+            "output arity"
+        );
+        assert_eq!(sim.num_words(), patterns.num_words(), "pattern shape");
+        Estimator::assemble(
+            Cow::Borrowed(original_outputs),
+            sim,
+            current,
+            patterns,
+            fanouts,
+        )
+    }
+
+    fn assemble(
+        original_outputs: Cow<'a, OutputWords>,
+        sim: Simulation,
+        current: &'a Aig,
+        patterns: &'a PatternBuffer,
+        fanouts: &'a FanoutMap,
+    ) -> Estimator<'a> {
         let current_outputs = sim.output_words(current);
         let masks = patterns.word_masks();
         Estimator {
@@ -70,13 +118,29 @@ impl<'a> Estimator<'a> {
             original_outputs,
             current_outputs,
             masks,
+            full_influence: false,
         }
+    }
+
+    /// Switches influence computation to the full-TFO-cone baseline
+    /// algorithm (no event-driven early exit). Results are bit-identical
+    /// either way; this exists so `bench_sim` and the determinism tests can
+    /// compare the two engines' work counters.
+    pub fn with_full_influence(mut self) -> Estimator<'a> {
+        self.full_influence = true;
+        self
     }
 
     /// The base simulation of the current circuit (used by the SASIMI
     /// baseline to rank signal similarity).
     pub fn simulation(&self) -> &Simulation {
         &self.sim
+    }
+
+    /// Consumes the estimator, handing back the current circuit's
+    /// simulation for incremental reuse in the next iteration.
+    pub fn into_simulation(self) -> Simulation {
+        self.sim
     }
 
     /// The pattern buffer both circuits were simulated on.
@@ -150,9 +214,19 @@ impl<'a> Estimator<'a> {
         trace::add("lacs_scored", lacs.len() as u64);
         trace::add("influences_computed", nodes.len() as u64);
         trace::add("influence_cache_hits", (lacs.len() - nodes.len()) as u64);
-        let influences = pool::par_map(&nodes, |&node| {
-            FlipInfluence::compute(self.current, &self.sim, self.fanouts, node)
-        });
+        let influences = if self.full_influence {
+            pool::par_map(&nodes, |&node| {
+                FlipInfluence::compute_full(self.current, &self.sim, self.fanouts, node)
+            })
+        } else {
+            // One scratch arena per worker: allocation-free propagation in
+            // steady state, and since each influence is a pure function of
+            // the shared simulation, placement by index keeps the result
+            // bit-identical at any thread count.
+            pool::par_map_init(&nodes, InfluenceScratch::new, |scratch, &node| {
+                FlipInfluence::compute_with(self.current, &self.sim, self.fanouts, node, scratch)
+            })
+        };
         pool::par_map(lacs, |lac| {
             self.estimate(lac, &influences[slot[&lac.node.node()]])
         })

@@ -53,6 +53,12 @@ pub struct FlowConfig {
     /// paper's behaviour; larger values trade area for speed on big
     /// circuits). The final result is always optimized.
     pub optimize_period: usize,
+    /// Disable the incremental estimation engine: re-simulate both circuits
+    /// from scratch every iteration and compute flip influences over full
+    /// TFO cones. Results are bit-identical either way (both engines are
+    /// exact); this exists as the measured baseline for `bench_sim` and the
+    /// incremental-vs-full determinism tests.
+    pub full_resim: bool,
     /// LAC generation options (divisor selection etc.).
     pub lac: LacConfig,
 }
@@ -77,6 +83,7 @@ impl Default for FlowConfig {
             max_iterations: 10_000,
             optimize_after_apply: true,
             optimize_period: 1,
+            full_resim: false,
             lac: LacConfig::default(),
         }
     }
@@ -241,9 +248,24 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             )
         };
 
+    // The fanout map is a pure function of `current`: build it once and
+    // rebuild only after a LAC is actually applied, not on the retry paths
+    // (empty candidate set / over budget) where the graph is unchanged.
+    let mut fanouts = current.fanout_map();
+    // The estimation patterns are fixed for the whole run and the original
+    // circuit never changes, so its reference output words are simulated
+    // exactly once. The current circuit's estimation simulation is carried
+    // across iterations and updated cone-locally on accepted LACs
+    // (`full_resim` restores the old sweep-everything behaviour).
+    let original_est_outputs = (!config.full_resim)
+        .then(|| Simulation::new(original, &est_patterns).output_words(original));
+    let mut est_sim: Option<Simulation> = None;
+
     while iterations < config.max_iterations {
         iterations += 1;
-        // Fresh care patterns every iteration (Algorithm 3 line 3).
+        // Fresh care patterns every iteration (Algorithm 3 line 3): the
+        // care simulation is always a full sweep — new patterns mean no
+        // previous values to reuse.
         let care_span = trace::span("care_sim");
         let care_patterns = draw(
             current.num_inputs(),
@@ -253,7 +275,6 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         let care_sim = Simulation::new(&current, &care_patterns);
         let care_ns = care_span.finish();
         let lac_span = trace::span("lac_gen");
-        let fanouts = current.fanout_map();
         let lacs = generate_lacs(&current, &care_sim, &care_patterns, &fanouts, &config.lac);
         let lac_ns = lac_span.finish();
 
@@ -289,7 +310,25 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         empty_streak = 0;
 
         let est_span = trace::span("estimate");
-        let estimator = Estimator::new(original, &current, &est_patterns, &fanouts);
+        let estimator = match &original_est_outputs {
+            // Incremental engine: reuse the carried estimation simulation of
+            // `current` (or sweep once after an optimize pass invalidated it)
+            // and the once-simulated reference outputs.
+            Some(reference) => Estimator::with_state(
+                reference,
+                est_sim
+                    .take()
+                    .unwrap_or_else(|| Simulation::new(&current, &est_patterns)),
+                &current,
+                &est_patterns,
+                &fanouts,
+            ),
+            // Baseline engine: full re-simulation of both circuits and
+            // full-TFO-cone influence masks, every iteration.
+            None => {
+                Estimator::new(original, &current, &est_patterns, &fanouts).with_full_influence()
+            }
+        };
         let Some(ranked) = estimator.ranked_candidates(&lacs, config.metric) else {
             break; // metric not evaluable — cannot happen after the arity check
         };
@@ -312,14 +351,26 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
                 }
                 // Skip the rare candidate whose materialized cover hashes onto
                 // its own fanout (would create a cycle).
-                lacs[idx]
-                    .apply(&current)
-                    .ok()
-                    .map(|aig| Some((idx, error, aig)))
+                if config.full_resim {
+                    lacs[idx]
+                        .apply(&current)
+                        .ok()
+                        .map(|aig| Some((idx, error, aig, None)))
+                } else {
+                    lacs[idx]
+                        .apply_with_delta(&current, &fanouts)
+                        .ok()
+                        .map(|(aig, delta)| Some((idx, error, aig, Some(delta))))
+                }
             })
             .flatten();
         let apply_ns = apply_span.finish();
-        let Some((best_idx, best_error, applied_aig)) = choice else {
+        let Some((best_idx, best_error, applied_aig, delta)) = choice else {
+            // Nothing applied: `current` is unchanged, so its estimation
+            // simulation is still valid for the next iteration.
+            if !config.full_resim {
+                est_sim = Some(estimator.into_simulation());
+            }
             if trace::is_enabled() {
                 trace::emit(
                     rejected_record(run_id, iterations, "over_budget", lacs.len(), rounds).obj(
@@ -353,14 +404,30 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             }
             continue;
         };
+        // Cone-local resimulation: only nodes in the substitution's TFO are
+        // re-evaluated; everything else is copied from the carried
+        // simulation. This must happen before `current` is replaced because
+        // the estimator borrows it until consumed.
+        let new_sim = delta.map(|delta| {
+            estimator
+                .into_simulation()
+                .update(&applied_aig, &delta, &est_patterns)
+        });
         current = applied_aig;
+        fanouts = current.fanout_map();
         over_streak = 0;
         stuck_streak = 0;
         applied += 1;
         let opt_span = trace::span("optimize");
-        if config.optimize_after_apply && applied.is_multiple_of(config.optimize_period.max(1)) {
+        let optimized_now =
+            config.optimize_after_apply && applied.is_multiple_of(config.optimize_period.max(1));
+        if optimized_now {
             current = alsrac_synth::optimize(&current);
+            // The optimizer restructures the graph arbitrarily: the carried
+            // simulation and fanout map are both stale.
+            fanouts = current.fanout_map();
         }
+        est_sim = if optimized_now { None } else { new_sim };
         let opt_ns = opt_span.finish();
         history.push(IterationRecord {
             estimated_error: best_error,

@@ -46,7 +46,7 @@ use std::fmt;
 
 use alsrac_aig::Aig;
 use alsrac_rt::{derive_indexed, pool, trace, Stream};
-use alsrac_sim::{PatternBuffer, Simulation};
+use alsrac_sim::{OutputWords, PatternBuffer, Simulation};
 
 /// Which error metric a flow is constrained by.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -133,8 +133,8 @@ impl Measurement {
 
 /// Compares two sets of output words and computes all metrics.
 ///
-/// `exact[po][w]` / `approx[po][w]` are packed output values;
-/// `masks[w]` selects the valid lanes of word `w` (see
+/// `exact` / `approx` are flattened packed output values (see
+/// [`OutputWords`]); `masks[w]` selects the valid lanes of word `w` (see
 /// [`PatternBuffer::word_mask`]); `num_patterns` is the total valid-lane
 /// count.
 ///
@@ -144,13 +144,17 @@ impl Measurement {
 ///
 /// Panics if the word shapes disagree.
 pub fn compare_output_words(
-    exact: &[Vec<u64>],
-    approx: &[Vec<u64>],
+    exact: &OutputWords,
+    approx: &OutputWords,
     masks: &[u64],
     num_patterns: usize,
 ) -> Measurement {
     if num_patterns == 0 {
-        assert_eq!(exact.len(), approx.len(), "output count mismatch");
+        assert_eq!(
+            exact.num_outputs(),
+            approx.num_outputs(),
+            "output count mismatch"
+        );
         return Measurement {
             num_patterns: 0,
             error_rate: 0.0,
@@ -159,7 +163,7 @@ pub fn compare_output_words(
             max_error_distance: Some(0),
         };
     }
-    count_output_words(exact, approx, masks, num_patterns).finalize(exact.len())
+    count_output_words(exact, approx, masks, num_patterns).finalize(exact.num_outputs())
 }
 
 /// Raw error counts of one comparison (or one pattern block of a blocked
@@ -214,23 +218,26 @@ impl PartialCounts {
 /// Counts error lanes and (when decodable) distance sums over one set of
 /// output words. The counting kernel behind [`compare_output_words`].
 fn count_output_words(
-    exact: &[Vec<u64>],
-    approx: &[Vec<u64>],
+    exact: &OutputWords,
+    approx: &OutputWords,
     masks: &[u64],
     num_patterns: usize,
 ) -> PartialCounts {
-    assert_eq!(exact.len(), approx.len(), "output count mismatch");
-    let num_outputs = exact.len();
-    let num_words = masks.len();
+    assert_eq!(
+        exact.num_outputs(),
+        approx.num_outputs(),
+        "output count mismatch"
+    );
+    let num_outputs = exact.num_outputs();
 
     // Error rate: union of bit differences across outputs.
     let mut error_lanes = 0u64;
-    for w in 0..num_words {
+    for (w, &word_mask) in masks.iter().enumerate() {
         let mut diff = 0u64;
         for po in 0..num_outputs {
-            diff |= exact[po][w] ^ approx[po][w];
+            diff |= exact.word(po, w) ^ approx.word(po, w);
         }
-        error_lanes += (diff & masks[w]).count_ones() as u64;
+        error_lanes += (diff & word_mask).count_ones() as u64;
     }
 
     // Distance metrics: decode each lane to integers.
@@ -238,16 +245,16 @@ fn count_output_words(
         let mut sum_ed = 0.0f64;
         let mut sum_red = 0.0f64;
         let mut max_ed = 0u64;
-        for w in 0..num_words {
-            let mut mask = masks[w];
+        for (w, &word_mask) in masks.iter().enumerate() {
+            let mut mask = word_mask;
             while mask != 0 {
                 let lane = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 let mut y = 0u64;
                 let mut yh = 0u64;
                 for po in 0..num_outputs {
-                    y |= (exact[po][w] >> lane & 1) << po;
-                    yh |= (approx[po][w] >> lane & 1) << po;
+                    y |= (exact.word(po, w) >> lane & 1) << po;
+                    yh |= (approx.word(po, w) >> lane & 1) << po;
                 }
                 let ed = y.abs_diff(yh);
                 max_ed = max_ed.max(ed);
@@ -332,12 +339,8 @@ pub fn measure_sampled(
         });
     }
     if monte_carlo_rounds == 0 {
-        return Ok(compare_output_words(
-            &vec![Vec::new(); exact.num_outputs()],
-            &vec![Vec::new(); exact.num_outputs()],
-            &[],
-            0,
-        ));
+        let empty = OutputWords::zeroed(exact.num_outputs(), 0);
+        return Ok(compare_output_words(&empty, &empty, &[], 0));
     }
     let num_blocks = monte_carlo_rounds.div_ceil(MEASURE_BLOCK_PATTERNS);
     let partials = pool::par_indices(num_blocks, |b| {
@@ -547,7 +550,8 @@ mod tests {
 
     #[test]
     fn empty_pattern_set_is_zero_error() {
-        let m = compare_output_words(&[vec![0]], &[vec![0]], &[0], 0);
+        let words = OutputWords::from_rows(&[vec![0]]);
+        let m = compare_output_words(&words, &words, &[0], 0);
         assert_eq!(m.error_rate, 0.0);
     }
 
@@ -577,8 +581,9 @@ mod tests {
     fn word_masks_exclude_invalid_lanes() {
         // 10 valid patterns in one word; garbage in the upper lanes must
         // not count.
-        let exact = vec![vec![0u64]];
-        let approx = vec![vec![0xFFFF_FC00u64]]; // differences above lane 10
+        let exact = OutputWords::from_rows(&[vec![0u64]]);
+        // Differences above lane 10 only.
+        let approx = OutputWords::from_rows(&[vec![0xFFFF_FC00u64]]);
         let m = compare_output_words(&exact, &approx, &[(1 << 10) - 1], 10);
         assert_eq!(m.error_rate, 0.0);
     }

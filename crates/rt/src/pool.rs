@@ -153,6 +153,70 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
     par_indices(items.len(), |i| f(&items[i]))
 }
 
+/// Like [`par_indices`], with a per-worker scratch state.
+///
+/// `init` runs once per worker (once total on the inline path) and the
+/// resulting state is threaded through every item that worker processes —
+/// the idiom for reusable arenas (e.g. simulation scratch buffers) whose
+/// allocation should not be paid per item. Determinism is unchanged:
+/// results are placed by index, so `f` must be pure *given a warmed-up
+/// scratch* — the scratch may cache capacity but must not leak values
+/// between items.
+pub fn par_indices_init<S, U: Send>(
+    n: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> U + Sync,
+) -> Vec<U> {
+    let threads = current_threads().min(n);
+    if threads <= 1 || IN_POOL.with(|p| p.get()) {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                IN_POOL.with(|p| p.set(true));
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // See par_indices: a failed send means a sibling
+                    // panicked and the scope re-raises.
+                    let _ = tx.send((i, f(&mut scratch, i)));
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index was dispatched exactly once"))
+        .collect()
+}
+
+/// Like [`par_map`], with a per-worker scratch state (see
+/// [`par_indices_init`]).
+pub fn par_map_init<T: Sync, S, U: Send>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> U + Sync,
+) -> Vec<U> {
+    par_indices_init(items.len(), init, |scratch, i| f(scratch, &items[i]))
+}
+
 /// Maps `f` over contiguous chunks of at most `chunk_size` items,
 /// preserving chunk order.
 ///
@@ -241,6 +305,43 @@ mod tests {
         for (i, inner) in got.iter().enumerate() {
             assert_eq!(inner, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
         }
+    }
+
+    #[test]
+    fn par_map_init_matches_serial_at_every_thread_count() {
+        // Scratch caches capacity only; results must not depend on which
+        // worker processed which item.
+        let items: Vec<usize> = (0..97).collect();
+        let run = |threads| {
+            with_threads(threads, || {
+                par_map_init(&items, Vec::<u64>::new, |scratch: &mut Vec<u64>, &x| {
+                    scratch.clear();
+                    scratch.extend((0..=x as u64).map(|v| v * v));
+                    scratch.iter().sum::<u64>()
+                })
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_indices_init_runs_init_once_per_worker_inline() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let got = with_threads(1, || {
+            par_indices_init(
+                5,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), i| i * 2,
+            )
+        });
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Structural deltas for cone-local incremental resimulation.
+//!
+//! When the flow applies a LAC, the rebuilt graph differs from its
+//! predecessor only inside the substituted node's transitive fanout plus
+//! the freshly materialized cover logic; everything else computes the same
+//! Boolean function as some node of the old graph (possibly under a new id
+//! or complemented edge). A [`SimDelta`] records, per node of the *new*
+//! graph, whether its simulated values can be carried over from the old
+//! simulation ([`SimSource::Copy`]) or must be re-evaluated
+//! ([`SimSource::Compute`]). [`crate::Simulation::update`] consumes it.
+
+use alsrac_aig::{Lit, NodeId};
+
+/// Where one node of a rebuilt graph gets its simulated values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimSource {
+    /// Function identical to old node `old` (complemented if set): copy its
+    /// words from the previous simulation.
+    Copy {
+        /// Node of the *old* graph with the same function.
+        old: NodeId,
+        /// Whether the new node computes the complement of `old`.
+        complement: bool,
+    },
+    /// Function new or changed: evaluate from fanins in topological order.
+    Compute,
+}
+
+/// Per-node value provenance for one graph rebuild, indexed by *new* node
+/// id.
+#[derive(Clone, Debug)]
+pub struct SimDelta {
+    sources: Vec<SimSource>,
+}
+
+impl SimDelta {
+    /// A delta over `num_nodes` new nodes with every node marked
+    /// [`SimSource::Compute`] (equivalent to a full sweep).
+    pub fn all_compute(num_nodes: usize) -> SimDelta {
+        SimDelta {
+            sources: vec![SimSource::Compute; num_nodes],
+        }
+    }
+
+    /// Builds a delta from a rebuild map.
+    ///
+    /// `map[old]` is the literal of the new graph that old node `old` was
+    /// rebuilt into (`None` if unreachable), as returned by the rebuild;
+    /// `unchanged(old)` must report whether the old node's *function* is
+    /// intact — for a substitution rebuild that is "not in the transitive
+    /// fanout of any substituted node". Only unchanged old nodes donate
+    /// their values; a new node no old unchanged node maps onto is marked
+    /// [`SimSource::Compute`].
+    pub fn from_rebuild_map<F>(
+        num_new_nodes: usize,
+        map: &[Option<Lit>],
+        mut unchanged: F,
+    ) -> SimDelta
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        let mut sources = vec![SimSource::Compute; num_new_nodes];
+        for (old_index, target) in map.iter().enumerate() {
+            let Some(lit) = target else { continue };
+            let old = NodeId::new(old_index);
+            if !unchanged(old) {
+                continue;
+            }
+            // Strashing can map several equivalent old nodes onto one new
+            // node; any of them is a valid source, so last-writer-wins is
+            // fine.
+            sources[lit.node().index()] = SimSource::Copy {
+                old,
+                complement: lit.is_complement(),
+            };
+        }
+        SimDelta { sources }
+    }
+
+    /// Number of new-graph nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Value provenance of new node `id`.
+    #[inline]
+    pub fn source(&self, id: NodeId) -> SimSource {
+        self.sources[id.index()]
+    }
+
+    /// Number of nodes that must be re-evaluated.
+    pub fn num_compute(&self) -> usize {
+        self.sources
+            .iter()
+            .filter(|s| matches!(s, SimSource::Compute))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_compute_marks_everything() {
+        let delta = SimDelta::all_compute(3);
+        assert_eq!(delta.num_nodes(), 3);
+        assert_eq!(delta.num_compute(), 3);
+    }
+
+    #[test]
+    fn from_map_copies_only_unchanged_nodes() {
+        // Old nodes 0..4; node 3 changed. Map: 0->0, 1->1, 2->!2, 3->4.
+        let map = vec![
+            Some(NodeId::new(0).lit()),
+            Some(NodeId::new(1).lit()),
+            Some(!NodeId::new(2).lit()),
+            Some(NodeId::new(4).lit()),
+        ];
+        let delta = SimDelta::from_rebuild_map(5, &map, |old| old.index() != 3);
+        assert_eq!(
+            delta.source(NodeId::new(0)),
+            SimSource::Copy {
+                old: NodeId::new(0),
+                complement: false
+            }
+        );
+        assert_eq!(
+            delta.source(NodeId::new(2)),
+            SimSource::Copy {
+                old: NodeId::new(2),
+                complement: true
+            }
+        );
+        // New node 3 has no unchanged preimage; new node 4 is the image of
+        // the *changed* old node 3 — both must be computed.
+        assert_eq!(delta.source(NodeId::new(3)), SimSource::Compute);
+        assert_eq!(delta.source(NodeId::new(4)), SimSource::Compute);
+        assert_eq!(delta.num_compute(), 2);
+    }
+
+    #[test]
+    fn unreachable_old_nodes_are_skipped() {
+        let map = vec![Some(NodeId::new(0).lit()), None];
+        let delta = SimDelta::from_rebuild_map(2, &map, |_| true);
+        assert_eq!(delta.num_compute(), 1);
+    }
+}

@@ -11,9 +11,13 @@
 //! * [`Simulation`] — the values of every node of an [`Aig`] under a pattern
 //!   buffer, computed in one topological sweep at 64 patterns per word op;
 //! * [`FlipInfluence`] — for a chosen node, the exact per-pattern, per-output
-//!   effect of flipping that node's value, computed by re-simulating only the
-//!   node's transitive fanout. This is the engine behind the batch error
-//!   estimation of Su et al. (DAC 2018) that ALSRAC reuses.
+//!   effect of flipping that node's value, computed by event-driven
+//!   propagation over a reusable [`InfluenceScratch`] arena that stops the
+//!   moment the flip quenches. This is the engine behind the batch error
+//!   estimation of Su et al. (DAC 2018) that ALSRAC reuses;
+//! * [`SimDelta`] + [`Simulation::update`] — cone-local incremental
+//!   resimulation after a structural rewrite: values of nodes whose function
+//!   is untouched are carried over instead of re-evaluated.
 //!
 //! # Example
 //!
@@ -36,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod influence;
 mod patterns;
 mod simulation;
 
-pub use influence::FlipInfluence;
+pub use delta::{SimDelta, SimSource};
+pub use influence::{FlipInfluence, InfluenceScratch};
 pub use patterns::PatternBuffer;
-pub use simulation::Simulation;
+pub use simulation::{OutputWords, Simulation};

@@ -1,8 +1,9 @@
-//! Whole-graph bit-parallel simulation.
+//! Whole-graph bit-parallel simulation, plus cone-local incremental
+//! resimulation after a structural change.
 
 use alsrac_aig::{Aig, Lit, Node, NodeId};
 
-use crate::PatternBuffer;
+use crate::{PatternBuffer, SimDelta, SimSource};
 
 /// The simulated values of every node of an [`Aig`] under a
 /// [`PatternBuffer`].
@@ -16,6 +17,78 @@ pub struct Simulation {
     num_patterns: usize,
     /// `values[node * num_words + w]`.
     values: Vec<u64>,
+}
+
+/// Flattened primary-output words: all outputs of one simulation in a
+/// single `outputs × words` allocation (`words[po * num_words + w]`).
+///
+/// Replaces the old nested `Vec<Vec<u64>>` shape: the flow compares output
+/// words once per candidate, so the buffer is built and read on hot paths
+/// and one allocation (instead of `num_outputs + 1`) matters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputWords {
+    num_outputs: usize,
+    num_words: usize,
+    words: Vec<u64>,
+}
+
+impl OutputWords {
+    /// An all-zero buffer of the given shape.
+    pub fn zeroed(num_outputs: usize, num_words: usize) -> OutputWords {
+        OutputWords {
+            num_outputs,
+            num_words,
+            words: vec![0u64; num_outputs * num_words],
+        }
+    }
+
+    /// Builds a buffer from one row of words per output (test convenience;
+    /// rows must all have the same length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<u64>]) -> OutputWords {
+        let num_words = rows.first().map_or(0, Vec::len);
+        let mut words = Vec::with_capacity(rows.len() * num_words);
+        for row in rows {
+            assert_eq!(row.len(), num_words, "ragged output rows");
+            words.extend_from_slice(row);
+        }
+        OutputWords {
+            num_outputs: rows.len(),
+            num_words,
+            words,
+        }
+    }
+
+    /// Number of outputs covered.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of words per output.
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// The packed words of output `po`.
+    #[inline]
+    pub fn po(&self, po: usize) -> &[u64] {
+        &self.words[po * self.num_words..(po + 1) * self.num_words]
+    }
+
+    /// Mutable words of output `po`.
+    #[inline]
+    pub fn po_mut(&mut self, po: usize) -> &mut [u64] {
+        &mut self.words[po * self.num_words..(po + 1) * self.num_words]
+    }
+
+    /// Word `w` of output `po`.
+    #[inline]
+    pub fn word(&self, po: usize, w: usize) -> u64 {
+        self.words[po * self.num_words + w]
+    }
 }
 
 impl Simulation {
@@ -60,6 +133,80 @@ impl Simulation {
         Simulation {
             num_words,
             num_patterns: patterns.num_patterns(),
+            values,
+        }
+    }
+
+    /// Re-simulates after a structural change: values of nodes whose
+    /// function is untouched are carried over from `self` (one word copy,
+    /// no gate evaluation) and only the delta's changed cone is swept.
+    ///
+    /// `new_aig` must be the graph the delta was produced for (same node
+    /// count) and `patterns` the buffer `self` was simulated on. The result
+    /// is bit-identical to `Simulation::new(new_aig, patterns)` — the delta
+    /// is exact, not approximate (pinned by property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta's node count disagrees with `new_aig` or the
+    /// pattern shape disagrees with `self`.
+    pub fn update(&self, new_aig: &Aig, delta: &SimDelta, patterns: &PatternBuffer) -> Simulation {
+        assert_eq!(delta.num_nodes(), new_aig.num_nodes(), "delta shape");
+        assert_eq!(patterns.num_words(), self.num_words, "pattern shape");
+        assert_eq!(
+            patterns.num_inputs(),
+            new_aig.num_inputs(),
+            "pattern buffer has {} inputs, graph has {}",
+            patterns.num_inputs(),
+            new_aig.num_inputs()
+        );
+        let num_words = self.num_words;
+        let mut values = vec![0u64; new_aig.num_nodes() * num_words];
+        let mut recomputed = 0usize;
+        for id in new_aig.iter_nodes() {
+            let base = id.index() * num_words;
+            match delta.source(id) {
+                SimSource::Copy { old, complement } => {
+                    let src = old.index() * num_words;
+                    if complement {
+                        for w in 0..num_words {
+                            values[base + w] = !self.values[src + w];
+                        }
+                    } else {
+                        values[base..base + num_words]
+                            .copy_from_slice(&self.values[src..src + num_words]);
+                    }
+                }
+                SimSource::Compute => {
+                    recomputed += 1;
+                    match *new_aig.node(id) {
+                        Node::Const => {}
+                        Node::Input { index } => {
+                            values[base..base + num_words]
+                                .copy_from_slice(patterns.input_words(index as usize));
+                        }
+                        Node::And { f0, f1 } => {
+                            let m0 = if f0.is_complement() { u64::MAX } else { 0 };
+                            let m1 = if f1.is_complement() { u64::MAX } else { 0 };
+                            let b0 = f0.node().index() * num_words;
+                            let b1 = f1.node().index() * num_words;
+                            for w in 0..num_words {
+                                values[base + w] = (values[b0 + w] ^ m0) & (values[b1 + w] ^ m1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Only recomputed nodes count as simulated work; carried-over nodes
+        // are the words the incremental path did not have to evaluate.
+        let copied = new_aig.num_nodes() - recomputed;
+        alsrac_rt::trace::add("sim_incremental_updates", 1);
+        alsrac_rt::trace::add("sim_node_words", (recomputed * num_words) as u64);
+        alsrac_rt::trace::add("sim_words_saved", (copied * num_words) as u64);
+        Simulation {
+            num_words,
+            num_patterns: self.num_patterns,
             values,
         }
     }
@@ -112,15 +259,22 @@ impl Simulation {
         self.lit_word(aig.outputs()[po].lit, w)
     }
 
-    /// Collects all output words: `result[po][w]`.
-    pub fn output_words(&self, aig: &Aig) -> Vec<Vec<u64>> {
-        (0..aig.num_outputs())
-            .map(|po| {
-                (0..self.num_words)
-                    .map(|w| self.output_word(aig, po, w))
-                    .collect()
-            })
-            .collect()
+    /// Collects all output words into one flat allocation.
+    pub fn output_words(&self, aig: &Aig) -> OutputWords {
+        let mut out = OutputWords::zeroed(aig.num_outputs(), self.num_words);
+        for (po, output) in aig.outputs().iter().enumerate() {
+            let lit = output.lit;
+            let base = lit.node().index() * self.num_words;
+            let row = out.po_mut(po);
+            if lit.is_complement() {
+                for (w, slot) in row.iter_mut().enumerate() {
+                    *slot = !self.values[base + w];
+                }
+            } else {
+                row.copy_from_slice(&self.values[base..base + self.num_words]);
+            }
+        }
+        out
     }
 }
 
@@ -205,8 +359,60 @@ mod tests {
         let patterns = PatternBuffer::random(3, 130, 5);
         let sim = Simulation::new(&aig, &patterns);
         let outs = sim.output_words(&aig);
-        assert_eq!(outs.len(), 2);
-        assert_eq!(outs[0].len(), 3); // ceil(130/64)
+        assert_eq!(outs.num_outputs(), 2);
+        assert_eq!(outs.num_words(), 3); // ceil(130/64)
+        for po in 0..2 {
+            for w in 0..3 {
+                assert_eq!(outs.word(po, w), sim.output_word(&aig, po, w));
+            }
+        }
+    }
+
+    #[test]
+    fn output_words_applies_output_complements() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        aig.add_output("pos", a);
+        aig.add_output("neg", !a);
+        let patterns = PatternBuffer::exhaustive(1);
+        let sim = Simulation::new(&aig, &patterns);
+        let outs = sim.output_words(&aig);
+        assert_eq!(outs.word(0, 0) & 0b11, 0b10);
+        assert_eq!(outs.word(1, 0) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1u64, 2], vec![3, 4]];
+        let out = OutputWords::from_rows(&rows);
+        assert_eq!(out.num_outputs(), 2);
+        assert_eq!(out.num_words(), 2);
+        assert_eq!(out.po(0), &[1, 2]);
+        assert_eq!(out.po(1), &[3, 4]);
+    }
+
+    #[test]
+    fn update_matches_full_resimulation_after_substitution() {
+        use std::collections::HashMap;
+        let aig = adder_bit();
+        let patterns = PatternBuffer::random(3, 150, 11);
+        let base = Simulation::new(&aig, &patterns);
+        let fanouts = aig.fanout_map();
+        // Substitute the first AND node by constant 0 (an approximate
+        // change) and resimulate incrementally.
+        let node = aig.iter_ands().next().expect("has ands");
+        let (rebuilt, map) = aig
+            .rebuilt_with_substitutions_mapped(&HashMap::from([(node, alsrac_aig::Lit::FALSE)]))
+            .expect("no cycle");
+        let tfo = aig.tfo_cone(node, &fanouts);
+        let delta = SimDelta::from_rebuild_map(rebuilt.num_nodes(), &map, |old| !tfo.contains(old));
+        let incremental = base.update(&rebuilt, &delta, &patterns);
+        let full = Simulation::new(&rebuilt, &patterns);
+        for id in rebuilt.iter_nodes() {
+            assert_eq!(incremental.node_words(id), full.node_words(id), "node {id}");
+        }
+        // The incremental path must have carried over at least the inputs.
+        assert!(delta.num_compute() < rebuilt.num_nodes());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Pins the steady-state allocation contract of the scratch-arena flip
+//! propagation: after one warm-up pass has sized the arena, the epoch
+//! stamps, and the frontier heap, repeated [`InfluenceScratch::propagate`]
+//! calls on the same graph must not allocate at all. The flow calls this
+//! once per (node, iteration) — it is the estimation stage's inner loop —
+//! so a hidden per-call allocation would silently dominate small-word
+//! workloads.
+//!
+//! Same counting-allocator pattern as `alsrac-rt`'s `trace_disabled`
+//! test: `GlobalAlloc` needs `unsafe`, which the library crates forbid,
+//! so a test binary is the only place "allocates nothing" is observable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use alsrac_aig::{Aig, NodeId};
+use alsrac_sim::{InfluenceScratch, PatternBuffer, Simulation};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Pairwise reduction tree over `layer`, alternating XOR and AND levels
+/// so the result is multi-level and reconvergent with the parity output.
+fn reduce(aig: &mut Aig, layer: &[alsrac_aig::Lit]) -> alsrac_aig::Lit {
+    let mut layer = layer.to_vec();
+    let mut use_and = false;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(match *pair {
+                [a, b] if use_and => aig.and(a, b),
+                [a, b] => aig.xor(a, b),
+                [a] => a,
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        use_and = !use_and;
+        layer = next;
+    }
+    layer[0]
+}
+
+/// A reconvergent multi-level circuit: an alternating XOR/AND reduction
+/// tree plus a full parity chain over the same 16 inputs, so propagations
+/// traverse real fanout fans and shared subtrees.
+fn build_circuit() -> Aig {
+    let mut aig = Aig::new("alloc_probe");
+    let inputs = aig.add_inputs("x", 16);
+    let tree = reduce(&mut aig, &inputs);
+    aig.add_output("y", tree);
+    let parity = aig.xor_all(&inputs);
+    aig.add_output("p", parity);
+    aig
+}
+
+#[test]
+fn steady_state_propagation_allocates_nothing() {
+    let aig = build_circuit();
+    let patterns = PatternBuffer::random(aig.num_inputs(), 256, 7);
+    let sim = Simulation::new(&aig, &patterns);
+    let fanouts = aig.fanout_map();
+    let mut scratch = InfluenceScratch::new();
+
+    // Warm-up: one full pass over every node sizes the arena and epoch
+    // stamps for this graph and lets the frontier heap reach its
+    // high-water capacity (heaps keep capacity across drains).
+    for raw in 0..aig.num_nodes() {
+        scratch.propagate(&aig, &sim, &fanouts, NodeId::new(raw));
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut visited_total = 0usize;
+    for _round in 0..5 {
+        for raw in 0..aig.num_nodes() {
+            visited_total += scratch.propagate(&aig, &sim, &fanouts, NodeId::new(raw));
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(visited_total > 0, "propagations visited no nodes");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state flip propagation allocated {} times",
+        after - before
+    );
+}

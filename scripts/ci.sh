@@ -15,6 +15,11 @@
 #           produce schema-valid JSONL that matches the flow's returned
 #           stats bit for bit, and the disabled-trace overhead on a hot
 #           loop must stay within 2% (see `report --smoke|--overhead`)
+#   bench-smoke
+#           incremental-engine gate: `bench_sim --smoke` runs the flow on
+#           a small circuit under both simulation engines and asserts the
+#           results bit-identical, `sim_words_saved > 0`, and strictly
+#           fewer node-words than the full-sweep baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,21 +68,42 @@ run_smoke() {
     target/release/report --overhead
 }
 
+run_bench_smoke() {
+    # Self-contained like the smoke step: build the binary if invoked alone.
+    cargo build --release --offline -p alsrac-bench --bin bench_sim
+
+    echo "==> incremental simulation gate (bit-exact + words saved)"
+    bench_json="$(mktemp -t alsrac_bench_sim_XXXXXX.json)"
+    # `all` runs the smoke step first; keep its temp file in the trap too.
+    trap 'rm -f "$bench_json" "${smoke_trace:-}"' EXIT
+    # bench_sim asserts: flow output bit-identical between the full-sweep
+    # and incremental engines, sim_words_saved > 0, and strictly fewer
+    # node-words simulated incrementally.
+    target/release/bench_sim --smoke "$bench_json"
+    grep -q '"sim_words_saved": 0[,}]' "$bench_json" && {
+        echo "bench-smoke: sim_words_saved is zero" >&2
+        exit 1
+    }
+    echo "bench-smoke gate passed."
+}
+
 case "$step" in
 fmt) run_fmt ;;
 clippy) run_clippy ;;
 build) run_build ;;
 test) run_test ;;
 smoke) run_smoke ;;
+bench-smoke) run_bench_smoke ;;
 all)
     run_fmt
     run_clippy
     run_build
     run_test
     run_smoke
+    run_bench_smoke
     ;;
 *)
-    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|all)" >&2
+    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|all)" >&2
     exit 2
     ;;
 esac

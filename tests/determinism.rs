@@ -208,3 +208,33 @@ fn different_seeds_can_change_the_flow_trace() {
         "four different seeds produced identical traces"
     );
 }
+
+#[test]
+fn incremental_flow_is_bit_identical_to_full_resimulation() {
+    // `FlowConfig::full_resim` switches the estimation stage between the
+    // full-sweep baseline (re-simulate both circuits every iteration,
+    // full-TFO-cone influences) and the incremental engine (carried
+    // simulation with cone-local updates, event-driven scratch-arena
+    // influences). Both are exact, so the whole flow — history, accepted
+    // LACs, and the final measurement — must be bit-identical, at every
+    // thread count.
+    let circuit = catalog_circuit();
+    let full_config = FlowConfig {
+        full_resim: true,
+        ..flow_config(42)
+    };
+    let incremental_config = flow_config(42);
+    assert!(!incremental_config.full_resim, "incremental is the default");
+
+    let reference = alsrac_rt::pool::with_threads(1, || run(&circuit, &full_config).expect("flow"));
+    assert!(
+        reference.applied > 0,
+        "flow accepted no LACs; the engine-equivalence check would be vacuous"
+    );
+    for threads in [1, 3, 7] {
+        let incremental = alsrac_rt::pool::with_threads(threads, || {
+            run(&circuit, &incremental_config).expect("flow")
+        });
+        assert_identical(&reference, &incremental);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the event-driven incremental simulation engine:
+//! the scratch-arena flip propagation and the cone-local resimulation are
+//! pure optimizations, bit-identical to full recomputation on arbitrary
+//! circuits, arbitrary LAC applications, and at every thread count.
+//!
+//! Runs on the `alsrac-rt` property harness (same pattern as
+//! `equivalence_props.rs`): properties generate a network *shape* and
+//! build the circuit inside, so failures shrink toward smaller graphs.
+
+use alsrac_rt::{check, pool, prop_assert_eq, u64s, usizes, Config, Gen};
+use alsrac_suite::aig::{Aig, NodeId};
+use alsrac_suite::circuits::random_logic::{random_network, RandomNetworkConfig};
+use alsrac_suite::core::estimate::Estimator;
+use alsrac_suite::core::lac::{generate_lacs, LacConfig};
+use alsrac_suite::sim::{FlipInfluence, InfluenceScratch, PatternBuffer, Simulation};
+
+fn config() -> Config {
+    Config::with_cases(32)
+}
+
+/// Generator of network shapes: `(num_inputs, num_outputs, num_gates, seed)`.
+fn networks() -> impl Gen<Value = (usize, usize, usize, u64)> {
+    (usizes(2..9), usizes(1..5), usizes(5..70), u64s())
+}
+
+fn build(&(num_inputs, num_outputs, num_gates, seed): &(usize, usize, usize, u64)) -> Aig {
+    random_network(&RandomNetworkConfig {
+        num_inputs,
+        num_outputs,
+        num_gates,
+        locality: 16,
+        seed,
+    })
+}
+
+/// Word-for-word comparison of two influence masks (per output and the
+/// any-output union). `FlipInfluence` deliberately has no `PartialEq`; the
+/// masks are its entire observable state.
+fn assert_same_influence(fast: &FlipInfluence, full: &FlipInfluence) -> Result<(), String> {
+    prop_assert_eq!(fast.num_outputs(), full.num_outputs());
+    for po in 0..full.num_outputs() {
+        prop_assert_eq!(fast.po_mask(po), full.po_mask(po));
+    }
+    prop_assert_eq!(fast.any_mask(), full.any_mask());
+    Ok(())
+}
+
+#[test]
+fn scratch_arena_influence_matches_full_cone_on_random_graphs() {
+    check(
+        "event-driven influence == full-cone influence",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let patterns = PatternBuffer::random(aig.num_inputs(), 192, cfg.3 ^ 0x9e37);
+            let sim = Simulation::new(&aig, &patterns);
+            let fanouts = aig.fanout_map();
+            // One scratch reused across every node: stale state leaking
+            // from one propagation into the next would show up here.
+            let mut scratch = InfluenceScratch::new();
+            for raw in 0..aig.num_nodes() {
+                let node = NodeId::new(raw);
+                let fast = FlipInfluence::compute_with(&aig, &sim, &fanouts, node, &mut scratch);
+                let full = FlipInfluence::compute_full(&aig, &sim, &fanouts, node);
+                assert_same_influence(&fast, &full)?;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cone_local_update_matches_full_resimulation_on_random_lacs() {
+    check(
+        "Simulation::update == Simulation::new after LAC apply",
+        &config(),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            // A tiny care set keeps the care sets small enough that the
+            // generator actually produces feasible candidates.
+            let care_patterns = PatternBuffer::random(aig.num_inputs(), 4, cfg.3 ^ 0x51);
+            let care_sim = Simulation::new(&aig, &care_patterns);
+            let fanouts = aig.fanout_map();
+            let lacs = generate_lacs(
+                &aig,
+                &care_sim,
+                &care_patterns,
+                &fanouts,
+                &LacConfig::default(),
+            );
+            let est_patterns = PatternBuffer::random(aig.num_inputs(), 128, cfg.3 ^ 0xa3);
+            let base = Simulation::new(&aig, &est_patterns);
+            for lac in lacs.iter().take(8) {
+                let Ok((rebuilt, delta)) = lac.apply_with_delta(&aig, &fanouts) else {
+                    continue; // cyclic substitution: apply refuses it too
+                };
+                let updated = base.update(&rebuilt, &delta, &est_patterns);
+                let fresh = Simulation::new(&rebuilt, &est_patterns);
+                prop_assert_eq!(updated.num_words(), fresh.num_words());
+                for raw in 0..rebuilt.num_nodes() {
+                    let node = NodeId::new(raw);
+                    prop_assert_eq!(updated.node_words(node), fresh.node_words(node));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn estimation_engines_agree_at_every_thread_count() {
+    // The estimator's two engines — full-TFO-cone influences and the
+    // event-driven scratch arena (one scratch per pool worker) — must
+    // produce identical measurements, and the scratch engine must be
+    // invariant under the worker count (the ISSUE's bit-identical
+    // parallel contract).
+    check(
+        "full-influence == scratch-arena estimate_all at 1/3/7 threads",
+        &Config::with_cases(16),
+        &networks(),
+        |cfg| {
+            let aig = build(cfg);
+            let care_patterns = PatternBuffer::random(aig.num_inputs(), 4, cfg.3 ^ 0x51);
+            let care_sim = Simulation::new(&aig, &care_patterns);
+            let fanouts = aig.fanout_map();
+            let lacs = generate_lacs(
+                &aig,
+                &care_sim,
+                &care_patterns,
+                &fanouts,
+                &LacConfig::default(),
+            );
+            if lacs.is_empty() {
+                return Ok(());
+            }
+            let est_patterns = PatternBuffer::random(aig.num_inputs(), 256, cfg.3 ^ 0xa3);
+            let reference = pool::with_threads(1, || {
+                Estimator::new(&aig, &aig, &est_patterns, &fanouts)
+                    .with_full_influence()
+                    .estimate_all(&lacs)
+            });
+            for threads in [1, 3, 7] {
+                let scratch_engine = pool::with_threads(threads, || {
+                    Estimator::new(&aig, &aig, &est_patterns, &fanouts).estimate_all(&lacs)
+                });
+                prop_assert_eq!(&reference, &scratch_engine);
+            }
+            Ok(())
+        },
+    );
+}
