@@ -44,17 +44,24 @@ impl Cone {
     }
 }
 
-/// Fanout information for every node of an [`Aig`].
+/// Fanout information for every node of an [`Aig`], plus the per-node
+/// logic levels computed in the same pass.
 ///
 /// The AIG itself only stores fanins; algorithms that walk "downstream"
 /// (observability, TFO re-simulation, MFFC) build this map once per graph
-/// snapshot via [`Aig::fanout_map`].
+/// snapshot via [`Aig::fanout_map`]. Levels ride along so per-node
+/// consumers (divisor selection, level-bucketed worklists) never have to
+/// re-derive `Aig::levels` — an `O(n)` sweep — inside their own loops.
 #[derive(Clone, Debug)]
 pub struct FanoutMap {
     /// `fanouts[n]` lists the AND nodes that reference node `n` as a fanin.
     fanouts: Vec<Vec<NodeId>>,
     /// Number of references to each node, counting primary outputs.
     ref_counts: Vec<u32>,
+    /// Logic level per node (identical to [`Aig::levels`]).
+    levels: Vec<u32>,
+    /// `max(levels) + 1`: the number of distinct level buckets.
+    num_levels: u32,
 }
 
 impl FanoutMap {
@@ -74,6 +81,76 @@ impl FanoutMap {
     pub fn is_dangling(&self, id: NodeId) -> bool {
         self.ref_counts[id.index()] == 0
     }
+
+    /// Logic level of `id` (0 for inputs and the constant).
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Per-node logic levels, identical to [`Aig::levels`] of the same
+    /// snapshot but computed once inside [`Aig::fanout_map`].
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Number of distinct levels (`max level + 1`); sizes level-bucketed
+    /// worklists.
+    pub fn num_levels(&self) -> u32 {
+        self.num_levels
+    }
+}
+
+/// Reusable scratch for [`Aig::mffc_with`]: epoch-stamped per-node
+/// reference-count deltas, so repeated MFFC computations cost
+/// `O(|MFFC|)` per query instead of cloning all `n` reference counts.
+///
+/// Every query reads the base counts straight from the [`FanoutMap`] it is
+/// given and bumps the epoch, so a scratch can be reused across graph
+/// snapshots without any reset call.
+#[derive(Clone, Debug, Default)]
+pub struct MffcScratch {
+    /// Decrements applied during the current query; valid only where
+    /// `stamp[i] == epoch`.
+    deltas: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl MffcScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> MffcScratch {
+        MffcScratch::default()
+    }
+
+    fn begin(&mut self, num_nodes: usize) {
+        if self.stamp.len() < num_nodes {
+            self.deltas.clear();
+            self.deltas.resize(num_nodes, 0);
+            self.stamp.clear();
+            self.stamp.resize(num_nodes, 0);
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Decrements the effective count of `id` and returns the new value,
+    /// given its base reference count.
+    #[inline]
+    fn decrement(&mut self, id: NodeId, base: u32) -> u32 {
+        let i = id.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.deltas[i] = 0;
+        }
+        self.deltas[i] += 1;
+        debug_assert!(self.deltas[i] <= base, "fanin reference count underflow");
+        base - self.deltas[i]
+    }
 }
 
 impl Aig {
@@ -82,6 +159,8 @@ impl Aig {
         let n = self.num_nodes();
         let mut fanouts = vec![Vec::new(); n];
         let mut ref_counts = vec![0u32; n];
+        let mut levels = vec![0u32; n];
+        let mut num_levels = 1u32;
         for id in self.iter_nodes() {
             if let Node::And { f0, f1 } = *self.node(id) {
                 fanouts[f0.node().index()].push(id);
@@ -90,6 +169,9 @@ impl Aig {
                     fanouts[f1.node().index()].push(id);
                 }
                 ref_counts[f1.node().index()] += 1;
+                let level = 1 + levels[f0.node().index()].max(levels[f1.node().index()]);
+                levels[id.index()] = level;
+                num_levels = num_levels.max(level + 1);
             }
         }
         for output in self.outputs() {
@@ -98,6 +180,8 @@ impl Aig {
         FanoutMap {
             fanouts,
             ref_counts,
+            levels,
+            num_levels,
         }
     }
 
@@ -140,24 +224,35 @@ impl Aig {
     /// the conventional measure of how many nodes a resubstitution of `root`
     /// can save.
     pub fn mffc(&self, root: NodeId, fanouts: &FanoutMap) -> Vec<NodeId> {
+        self.mffc_with(root, fanouts, &mut MffcScratch::new())
+    }
+
+    /// Like [`Aig::mffc`], but reuses a caller-held [`MffcScratch`] so the
+    /// per-call cost is proportional to the MFFC itself, not the graph.
+    /// Per-node loops (LAC generation visits every AND node) should hold
+    /// one scratch and reuse it; results are identical to [`Aig::mffc`].
+    pub fn mffc_with(
+        &self,
+        root: NodeId,
+        fanouts: &FanoutMap,
+        scratch: &mut MffcScratch,
+    ) -> Vec<NodeId> {
         if !self.node(root).is_and() {
             return Vec::new();
         }
         // Simulate dereferencing root: counts of nodes whose refs all come
-        // from inside the dereferenced cone drop to zero.
-        let mut counts: Vec<u32> = (0..self.num_nodes())
-            .map(|i| fanouts.ref_count(NodeId::new(i)))
-            .collect();
+        // from inside the dereferenced cone drop to zero. The scratch
+        // tracks the decrements of this query only; base counts come from
+        // the fanout map every time, so nothing can go stale.
+        scratch.begin(self.num_nodes());
         let mut mffc = Vec::new();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             mffc.push(id);
             if let Node::And { f0, f1 } = *self.node(id) {
                 for fanin in [f0.node(), f1.node()] {
-                    let c = &mut counts[fanin.index()];
-                    debug_assert!(*c > 0, "fanin reference count underflow");
-                    *c -= 1;
-                    if *c == 0 && self.node(fanin).is_and() {
+                    let remaining = scratch.decrement(fanin, fanouts.ref_count(fanin));
+                    if remaining == 0 && self.node(fanin).is_and() {
                         stack.push(fanin);
                     }
                 }
@@ -311,6 +406,59 @@ mod tests {
         let y = aig.outputs()[0].lit.node();
         // Leaving out b and c means the walk escapes to inputs not in the cut.
         assert!(aig.cone_interior(y, &[a.node()]).is_none());
+    }
+
+    #[test]
+    fn fanout_map_levels_match_graph_levels() {
+        let (aig, ..) = sample();
+        let fanouts = aig.fanout_map();
+        assert_eq!(fanouts.levels(), &aig.levels()[..]);
+        let max = aig.levels().iter().copied().max().unwrap_or(0);
+        assert_eq!(fanouts.num_levels(), max + 1);
+        for id in aig.iter_nodes() {
+            assert_eq!(fanouts.level(id), aig.levels()[id.index()]);
+        }
+    }
+
+    #[test]
+    fn mffc_with_shared_scratch_matches_fresh_queries() {
+        let (aig, ..) = sample();
+        let fanouts = aig.fanout_map();
+        let mut scratch = MffcScratch::new();
+        // Interleave queries so the scratch carries decrements between
+        // calls; every result must match a fresh O(n) query.
+        for _ in 0..3 {
+            for id in aig.iter_nodes() {
+                let reused = aig.mffc_with(id, &fanouts, &mut scratch);
+                let fresh = aig.mffc(id, &fanouts);
+                assert_eq!(reused, fresh, "node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn mffc_scratch_survives_graph_swaps() {
+        // The same scratch must be correct across different graphs of the
+        // same node count (base counts come from the map, not the scratch).
+        let (a, ..) = sample();
+        let mut b = Aig::new("t2");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let z = b.add_input("z");
+        let xy = b.and(x, y);
+        let yz = b.and(y, z);
+        let top = b.and(xy, yz);
+        b.add_output("o", top);
+        b.add_output("o2", xy); // extra ref changes the MFFC shape
+        let fa = a.fanout_map();
+        let fb = b.fanout_map();
+        let mut scratch = MffcScratch::new();
+        for id in a.iter_nodes() {
+            assert_eq!(a.mffc_with(id, &fa, &mut scratch), a.mffc(id, &fa));
+        }
+        for id in b.iter_nodes() {
+            assert_eq!(b.mffc_with(id, &fb, &mut scratch), b.mffc(id, &fb));
+        }
     }
 
     #[test]

@@ -64,10 +64,12 @@ mod graph;
 mod lit;
 mod rebuild;
 mod stats;
+mod window;
 
-pub use cone::{Cone, FanoutMap};
+pub use cone::{Cone, FanoutMap, MffcScratch};
 pub use cuts::{Cut, CutSet};
 pub use error::{AigError, RebuildError};
 pub use graph::{Aig, Node};
 pub use lit::{Lit, NodeId};
 pub use stats::AigStats;
+pub use window::{Window, WindowExtractor, WindowParams};

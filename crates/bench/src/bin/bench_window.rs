@@ -1,0 +1,355 @@
+//! Windowed vs whole-circuit resubstitution benchmark.
+//!
+//! Two modes. `--smoke` (the CI gate) runs the ALSRAC flow twice on every
+//! bundled Test-scale circuit — once with windowing enabled (the default
+//! [`FlowConfig`]) and once with [`WindowConfig::disabled`] — and asserts
+//! the two results bit-identical: the window bound covers every pivot's
+//! TFI on these circuits and the signature pre-screen only skips divisor
+//! sets the harvest provably rejects, so windowing must not change a
+//! single bit. It also asserts the `window_*` trace counters are live.
+//!
+//! The default mode is the scale experiment: a ≥10k-AND generated circuit
+//! (from [`scale_benchmarks`]) runs the windowed flow, which must finish
+//! in under 60 seconds, while the whole-circuit path runs under a wall
+//! deadline; its time (or timeout) and the windowed/whole ratio land in
+//! `BENCH_scale.json` together with the divisor-filter counters.
+
+use std::time::{Duration, Instant};
+
+use alsrac::flow::{run, FlowConfig, FlowResult};
+use alsrac::window::WindowConfig;
+use alsrac_circuits::catalog::{iscas_and_arith, scale_benchmarks, Benchmark, Scale};
+use alsrac_metrics::ErrorMetric;
+use alsrac_rt::trace;
+
+/// Wall-time and telemetry of one flow run.
+struct WindowRun {
+    secs: f64,
+    window_extracted: u64,
+    window_nodes: u64,
+    divisors_filtered: u64,
+    result: FlowResult,
+}
+
+fn counter(counters: &[(String, u64)], name: &str) -> u64 {
+    counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+fn smoke_config(windowed: bool) -> FlowConfig {
+    FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.10,
+        max_iterations: 12,
+        seed: 42,
+        window: if windowed {
+            WindowConfig::default()
+        } else {
+            WindowConfig::disabled()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+/// Scale-experiment configuration: a short, optimizer-free budget so the
+/// comparison isolates the resubstitution core (windowing only changes
+/// LAC generation; estimation and measurement are shared costs). Unlike
+/// the smoke gate — whose default bound covers whole TFIs to stay
+/// bit-identical — the scale run uses a genuinely bounded window, which
+/// is the point of windowing: per-pivot cost stops tracking circuit size.
+fn scale_config(windowed: bool) -> FlowConfig {
+    FlowConfig {
+        metric: ErrorMetric::ErrorRate,
+        threshold: 0.05,
+        max_iterations: 2,
+        est_rounds: 64,
+        measure_rounds: 1024,
+        optimize_after_apply: false,
+        seed: 42,
+        window: if windowed {
+            WindowConfig {
+                max_tfi: 150,
+                ..WindowConfig::default()
+            }
+        } else {
+            WindowConfig::disabled()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+fn run_flow(bench: &Benchmark, config: &FlowConfig) -> WindowRun {
+    // Counters are always collected; set ALSRAC_TRACE to also keep the
+    // full per-iteration record stream for `report` to break down.
+    match std::env::var("ALSRAC_TRACE").ok().filter(|p| !p.is_empty()) {
+        Some(path) => trace::enable_file(&path).expect("trace file"),
+        None => trace::enable_writer(Box::new(std::io::sink())),
+    }
+    trace::reset();
+    let start = Instant::now();
+    let result = run(&bench.aig, config).expect("flow");
+    let secs = start.elapsed().as_secs_f64();
+    let (_, counters) = trace::snapshot();
+    trace::disable();
+    WindowRun {
+        secs,
+        window_extracted: counter(&counters, "window_extracted"),
+        window_nodes: counter(&counters, "window_nodes"),
+        divisors_filtered: counter(&counters, "divisors_filtered_by_signature"),
+        result,
+    }
+}
+
+/// Bit-identical comparison of the windowed and whole-circuit results.
+fn assert_identical(name: &str, whole: &FlowResult, win: &FlowResult) {
+    assert_eq!(
+        whole.iterations, win.iterations,
+        "{name}: iterations differ"
+    );
+    assert_eq!(whole.applied, win.applied, "{name}: applied counts differ");
+    assert_eq!(
+        whole.approx.num_ands(),
+        win.approx.num_ands(),
+        "{name}: final sizes differ"
+    );
+    assert_eq!(
+        whole.history.len(),
+        win.history.len(),
+        "{name}: history lengths differ"
+    );
+    for (i, (a, b)) in whole.history.iter().zip(&win.history).enumerate() {
+        assert_eq!(
+            a.estimated_error.to_bits(),
+            b.estimated_error.to_bits(),
+            "{name}: accepted LAC {i}: estimated errors differ"
+        );
+        assert_eq!(a.ands, b.ands, "{name}: accepted LAC {i}: sizes differ");
+    }
+    assert_eq!(
+        whole.measured.error_rate.to_bits(),
+        win.measured.error_rate.to_bits(),
+        "{name}: measured error rates differ"
+    );
+}
+
+fn smoke(path: &str) {
+    let cases = iscas_and_arith(Scale::Test);
+    let mut entries = Vec::new();
+    for bench in &cases {
+        let win = run_flow(bench, &smoke_config(true));
+        let whole = run_flow(bench, &smoke_config(false));
+        assert_identical(bench.paper_name, &whole.result, &win.result);
+        assert!(
+            win.window_extracted > 0,
+            "{}: windowed run extracted no windows",
+            bench.paper_name
+        );
+        assert!(
+            win.window_nodes >= win.window_extracted,
+            "{}: window_nodes counter implausibly small",
+            bench.paper_name
+        );
+        assert_eq!(
+            whole.window_extracted, 0,
+            "{}: disabled run extracted windows",
+            bench.paper_name
+        );
+        eprintln!(
+            "{}: {} ANDs, bit-identical over {} iters ({} applied); \
+             {} windows (avg {:.1} nodes), {} divisor sets pre-screened",
+            bench.paper_name,
+            bench.aig.num_ands(),
+            win.result.iterations,
+            win.result.applied,
+            win.window_extracted,
+            win.window_nodes as f64 / win.window_extracted.max(1) as f64,
+            win.divisors_filtered,
+        );
+        entries.push((bench, whole, win));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"smoke\": true,\n");
+    json.push_str("  \"seed\": 42,\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, (bench, whole, win)) in entries.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"circuit\": \"{}\",\n", bench.paper_name));
+        json.push_str(&format!("      \"ands\": {},\n", bench.aig.num_ands()));
+        json.push_str(&format!(
+            "      \"iterations\": {},\n",
+            win.result.iterations
+        ));
+        json.push_str(&format!("      \"applied\": {},\n", win.result.applied));
+        json.push_str("      \"bit_identical\": true,\n");
+        json.push_str(&format!(
+            "      \"window_extracted\": {},\n",
+            win.window_extracted
+        ));
+        json.push_str(&format!("      \"window_nodes\": {},\n", win.window_nodes));
+        json.push_str(&format!(
+            "      \"divisors_filtered_by_signature\": {},\n",
+            win.divisors_filtered
+        ));
+        json.push_str(&format!(
+            "      \"windowed_secs\": {:.6},\n      \"whole_secs\": {:.6}\n",
+            win.secs, whole.secs
+        ));
+        json.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}
+
+fn scale(path: &str, circuit: &str) {
+    let bench = scale_benchmarks()
+        .into_iter()
+        .find(|b| b.paper_name == circuit)
+        .unwrap_or_else(|| panic!("unknown scale circuit '{circuit}'"));
+    assert!(
+        bench.aig.num_ands() >= 10_000,
+        "scale circuit below 10k ANDs"
+    );
+    eprintln!(
+        "scale run: {} ({} ANDs, {} inputs, {} outputs)",
+        bench.paper_name,
+        bench.aig.num_ands(),
+        bench.aig.num_inputs(),
+        bench.aig.num_outputs()
+    );
+
+    let win = run_flow(&bench, &scale_config(true));
+    eprintln!(
+        "windowed: {:.2}s, {} applied in {} iters, final {} ANDs, \
+         error {:.5}; {} windows (avg {:.1} nodes), {} sets pre-screened",
+        win.secs,
+        win.result.applied,
+        win.result.iterations,
+        win.result.approx.num_ands(),
+        win.result.measured.error_rate,
+        win.window_extracted,
+        win.window_nodes as f64 / win.window_extracted.max(1) as f64,
+        win.divisors_filtered,
+    );
+    assert!(
+        win.secs < 60.0,
+        "windowed flow took {:.1}s (budget 60s)",
+        win.secs
+    );
+
+    // Whole-circuit path under a wall deadline: generous enough that a
+    // finishing run is timed fairly, bounded so a pathological one cannot
+    // hang the benchmark. The worker thread is detached on timeout; the
+    // process exits right after writing the JSON.
+    let deadline = Duration::from_secs_f64((win.secs * 20.0).max(300.0));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let aig = bench.aig.clone();
+    std::thread::spawn(move || {
+        let config = scale_config(false);
+        let start = Instant::now();
+        let result = run(&aig, &config).expect("flow");
+        let _ = tx.send((start.elapsed().as_secs_f64(), result));
+    });
+    let whole = rx.recv_timeout(deadline).ok();
+
+    let (whole_secs, whole_desc) = match &whole {
+        Some((secs, result)) => {
+            eprintln!(
+                "whole-circuit: {:.2}s, {} applied, final {} ANDs, error {:.5}",
+                secs,
+                result.applied,
+                result.approx.num_ands(),
+                result.measured.error_rate
+            );
+            (Some(*secs), format!("{secs:.6}"))
+        }
+        None => {
+            eprintln!(
+                "whole-circuit: timed out after {:.0}s",
+                deadline.as_secs_f64()
+            );
+            (None, "null".to_string())
+        }
+    };
+    let ratio = whole_secs.map(|s| s / win.secs);
+    assert!(
+        whole_secs.is_none() || ratio.unwrap_or(0.0) >= 5.0,
+        "whole-circuit path finished in {whole_desc}s, less than 5x the \
+         windowed {:.2}s",
+        win.secs
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"smoke\": false,\n");
+    json.push_str("  \"seed\": 42,\n");
+    json.push_str(&format!("  \"circuit\": \"{}\",\n", bench.paper_name));
+    json.push_str(&format!("  \"ands\": {},\n", bench.aig.num_ands()));
+    json.push_str(&format!(
+        "  \"windowed\": {{\"secs\": {:.6}, \"iterations\": {}, \"applied\": {}, \
+         \"final_ands\": {}, \"error_rate\": {:.8}, \"window_extracted\": {}, \
+         \"window_nodes\": {}, \"divisors_filtered_by_signature\": {}}},\n",
+        win.secs,
+        win.result.iterations,
+        win.result.applied,
+        win.result.approx.num_ands(),
+        win.result.measured.error_rate,
+        win.window_extracted,
+        win.window_nodes,
+        win.divisors_filtered
+    ));
+    match &whole {
+        Some((secs, result)) => {
+            json.push_str(&format!(
+                "  \"whole_circuit\": {{\"secs\": {:.6}, \"timed_out\": false, \
+                 \"final_ands\": {}, \"error_rate\": {:.8}}},\n",
+                secs,
+                result.approx.num_ands(),
+                result.measured.error_rate
+            ));
+        }
+        None => {
+            json.push_str(&format!(
+                "  \"whole_circuit\": {{\"secs\": null, \"timed_out\": true, \
+                 \"deadline_secs\": {:.1}}},\n",
+                deadline.as_secs_f64()
+            ));
+        }
+    }
+    json.push_str(&format!(
+        "  \"speedup\": {}\n",
+        ratio.map_or("null".to_string(), |r| format!("{r:.3}"))
+    ));
+    json.push_str("}\n");
+    std::fs::write(path, &json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let is_smoke = args.iter().any(|a| a == "--smoke");
+    let circuit = args
+        .iter()
+        .position(|a| a == "--circuit")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "mtp48".to_string());
+    let path = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--circuit"))
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    if is_smoke {
+        smoke(&path);
+    } else {
+        scale(&path, &circuit);
+    }
+}

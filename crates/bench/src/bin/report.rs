@@ -70,6 +70,28 @@ fn sibling_summary_path(trace_path: &str) -> String {
 // Schema validation
 // ---------------------------------------------------------------------------
 
+/// Every counter name the flow may emit into a `totals` record. Schema
+/// validation rejects unknown names so a typo in a `trace::add` call site
+/// (or a stale reader) fails the smoke gate instead of silently dropping
+/// the counter from reports.
+const KNOWN_COUNTERS: &[&str] = &[
+    "simulations",
+    "sim_node_words",
+    "sim_incremental_updates",
+    "sim_words_saved",
+    "influence_words_computed",
+    "influence_early_exits",
+    "influences_computed",
+    "influence_cache_hits",
+    "lacs_scored",
+    "nan_filtered",
+    "patterns_simulated",
+    "window_extracted",
+    "window_nodes",
+    "divisors_filtered_by_signature",
+    "overhead_probe",
+];
+
 /// The record types a trace may contain, with their required fields (see
 /// DESIGN.md "Telemetry" for the authoritative description).
 fn validate_record(rec: &Json) -> Result<(), String> {
@@ -191,6 +213,9 @@ fn validate_record(rec: &Json) -> Result<(), String> {
                 .and_then(Json::as_obj)
                 .ok_or("totals: missing \"counters\" object")?;
             for (name, v) in counters {
+                if !KNOWN_COUNTERS.contains(&name.as_str()) {
+                    return Err(format!("totals: unknown counter {name:?}"));
+                }
                 v.as_u64()
                     .ok_or(format!("totals: counter {name} is not an integer"))?;
             }

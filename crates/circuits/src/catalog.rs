@@ -200,6 +200,20 @@ pub fn epfl_arith(scale: Scale) -> Vec<Benchmark> {
     }
 }
 
+/// Large generated circuits for the windowed-resubstitution scale
+/// experiments (`bench_window` / BENCH_scale.json): scaled array
+/// multipliers and EPFL-style arithmetic datapaths in the 10k–100k AND
+/// range. These are not part of the paper's tables — whole-circuit
+/// resubstitution does not finish on them, which is the point.
+pub fn scale_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("wal32", arith::wallace_multiplier(32)),
+        Benchmark::new("mtp48", arith::array_multiplier(48)),
+        Benchmark::new("mac16x8", arith::multiply_accumulate(16, 8)),
+        Benchmark::new("mac24x16", arith::multiply_accumulate(24, 16)),
+    ]
+}
+
 /// Looks up a single benchmark by its paper name across all suites.
 pub fn by_name(paper_name: &str, scale: Scale) -> Option<Aig> {
     iscas_and_arith(scale)
@@ -243,6 +257,30 @@ mod tests {
             .map(|b| b.aig.num_ands())
             .sum();
         assert!(large > 2 * small);
+    }
+
+    #[test]
+    fn scale_suite_reaches_window_scale() {
+        let suite = scale_benchmarks();
+        assert!(!suite.is_empty());
+        for bench in &suite {
+            assert!(
+                bench.aig.num_ands() >= 10_000,
+                "{} has only {} ANDs",
+                bench.paper_name,
+                bench.aig.num_ands()
+            );
+            assert!(
+                bench.aig.num_ands() <= 150_000,
+                "{} too large: {} ANDs",
+                bench.paper_name,
+                bench.aig.num_ands()
+            );
+            // The reference evaluator must run without panicking.
+            let zeros = vec![false; bench.aig.num_inputs()];
+            let out = bench.aig.evaluate(&zeros);
+            assert!(out.iter().all(|&v| !v), "zero inputs give zero outputs");
+        }
     }
 
     #[test]

@@ -10,8 +10,18 @@
 //! Only TFI-cone nodes are considered because `V`'s function most likely
 //! depends on them. TFI nodes are visited in ascending logic level, as in
 //! the paper's pseudocode.
+//!
+//! Two performance layers sit on top of Algorithm 1. Logic levels are
+//! *hoisted*: [`select_divisor_sets_with`] takes the per-node level slice
+//! (available from the flow's [`alsrac_aig::FanoutMap`]) instead of
+//! recomputing `Aig::levels` per call, which the old path did once per
+//! node per iteration. And the candidate pool can be drawn from a bounded
+//! [`Window`] instead of the full TFI cone; because the pool is re-sorted
+//! by `(level, index)` — a total order — a window that covers the whole
+//! TFI yields a bit-identical pool, which is what keeps the windowed flow
+//! bit-identical on small circuits.
 
-use alsrac_aig::{Aig, Node, NodeId};
+use alsrac_aig::{Aig, Node, NodeId, Window};
 
 /// Configuration for [`select_divisor_sets`].
 #[derive(Clone, Debug)]
@@ -41,17 +51,42 @@ impl Default for DivisorConfig {
 /// The node itself, its fanins (for the replacement slot), and the constant
 /// node are excluded from the replacement pool. Returns an empty list for
 /// inputs and the constant.
+///
+/// Convenience wrapper over [`select_divisor_sets_with`] that recomputes
+/// levels and walks the full TFI cone; per-iteration callers (the flow)
+/// should hoist both.
 pub fn select_divisor_sets(aig: &Aig, node: NodeId, config: &DivisorConfig) -> Vec<Vec<NodeId>> {
+    select_divisor_sets_with(aig, node, &aig.levels(), None, config)
+}
+
+/// [`select_divisor_sets`] with hoisted structural data: `levels` is the
+/// per-node logic-level slice (e.g. [`alsrac_aig::FanoutMap::levels`]) and
+/// `window`, when present, restricts the replacement pool to the window's
+/// TFI-side nodes ([`Window::tfi_nodes`]) instead of the full TFI cone.
+pub fn select_divisor_sets_with(
+    aig: &Aig,
+    node: NodeId,
+    levels: &[u32],
+    window: Option<&Window>,
+    config: &DivisorConfig,
+) -> Vec<Vec<NodeId>> {
     let Node::And { f0, f1 } = *aig.node(node) else {
         return Vec::new();
     };
     let fanins = [f0.node(), f1.node()];
 
-    // TFI cone sorted by ascending level (Algorithm 1, line 2).
-    let levels = aig.levels();
-    let cone = aig.tfi_cone(node);
-    let mut pool: Vec<NodeId> = cone
-        .members()
+    // TFI candidates sorted by ascending level (Algorithm 1, line 2). The
+    // `(level, index)` key is a total order, so the pool is independent of
+    // the candidate source's own ordering.
+    let cone;
+    let candidates: &[NodeId] = match window {
+        Some(w) => w.tfi_nodes(),
+        None => {
+            cone = aig.tfi_cone(node);
+            cone.members()
+        }
+    };
+    let mut pool: Vec<NodeId> = candidates
         .iter()
         .copied()
         .filter(|&n| n != node && n != NodeId::CONST && !fanins.contains(&n))
@@ -188,6 +223,48 @@ mod tests {
         };
         let sets = select_divisor_sets(&aig, v, &config);
         assert!(sets.iter().any(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn full_window_pool_matches_whole_circuit_pool() {
+        use alsrac_aig::{WindowExtractor, WindowParams};
+        let (aig, v, _) = sample();
+        let fanouts = aig.fanout_map();
+        let mut ex = WindowExtractor::new();
+        for id in aig.iter_ands() {
+            let w = ex.extract(&aig, &fanouts, id, &WindowParams::default());
+            let windowed = select_divisor_sets_with(
+                &aig,
+                id,
+                fanouts.levels(),
+                Some(&w),
+                &DivisorConfig::default(),
+            );
+            let plain = select_divisor_sets(&aig, id, &DivisorConfig::default());
+            assert_eq!(windowed, plain, "node {id}");
+        }
+        // A truncated window shrinks the pool but stays well-formed.
+        let w = ex.extract(
+            &aig,
+            &fanouts,
+            v,
+            &WindowParams {
+                max_tfi: 3,
+                tfo_depth: 0,
+            },
+        );
+        let truncated = select_divisor_sets_with(
+            &aig,
+            v,
+            fanouts.levels(),
+            Some(&w),
+            &DivisorConfig::default(),
+        );
+        for set in &truncated {
+            for n in set {
+                assert!(w.contains(*n) || aig.and_fanins(v).iter().any(|f| f.node() == *n));
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@ use alsrac_rt::{derive_indexed, derive_seed, trace, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
 use crate::estimate::Estimator;
-use crate::lac::{generate_lacs, LacConfig};
+use crate::lac::{generate_lacs_with, LacConfig};
+use crate::window::WindowConfig;
 use crate::FlowError;
 
 /// Parameters of the ALSRAC flow. Defaults follow the paper's §IV-A
@@ -61,6 +62,10 @@ pub struct FlowConfig {
     pub full_resim: bool,
     /// LAC generation options (divisor selection etc.).
     pub lac: LacConfig,
+    /// Window-local resubstitution options. Enabled by default; window
+    /// bounds at or above every pivot's TFI size (as on the bundled small
+    /// circuits) keep results bit-identical to `WindowConfig::disabled()`.
+    pub window: WindowConfig,
 }
 
 /// Input count at or below which candidate estimation uses exhaustive
@@ -85,6 +90,7 @@ impl Default for FlowConfig {
             optimize_period: 1,
             full_resim: false,
             lac: LacConfig::default(),
+            window: WindowConfig::default(),
         }
     }
 }
@@ -275,7 +281,14 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         let care_sim = Simulation::new(&current, &care_patterns);
         let care_ns = care_span.finish();
         let lac_span = trace::span("lac_gen");
-        let lacs = generate_lacs(&current, &care_sim, &care_patterns, &fanouts, &config.lac);
+        let lacs = generate_lacs_with(
+            &current,
+            &care_sim,
+            &care_patterns,
+            &fanouts,
+            &config.lac,
+            &config.window,
+        );
         let lac_ns = lac_span.finish();
 
         if lacs.is_empty() {

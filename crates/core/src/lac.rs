@@ -8,12 +8,13 @@
 
 use std::collections::HashMap;
 
-use alsrac_aig::{Aig, FanoutMap, Lit, RebuildError};
-use alsrac_sim::{PatternBuffer, SimDelta, Simulation};
+use alsrac_aig::{Aig, FanoutMap, Lit, MffcScratch, RebuildError, WindowExtractor};
+use alsrac_sim::{PatternBuffer, Signatures, SimDelta, Simulation};
 use alsrac_truthtable::{factored_aig_cost, isop, minimize, sop_to_aig, Sop};
 
 use crate::care::ApproximateCareSet;
-use crate::divisors::{select_divisor_sets, DivisorConfig};
+use crate::divisors::{select_divisor_sets_with, DivisorConfig};
+use crate::window::{provably_infeasible, WindowConfig};
 
 /// One candidate local approximate change.
 #[derive(Clone, Debug)]
@@ -150,13 +151,71 @@ pub fn generate_lacs(
     fanouts: &FanoutMap,
     config: &LacConfig,
 ) -> Vec<Lac> {
+    generate_lacs_with(
+        aig,
+        sim,
+        patterns,
+        fanouts,
+        config,
+        &WindowConfig::disabled(),
+    )
+}
+
+/// [`generate_lacs`] with explicit windowing control (the flow's entry
+/// point; plain `generate_lacs` runs with windowing off).
+///
+/// With windowing enabled, each pivot's divisor pool comes from a bounded
+/// [`alsrac_aig::Window`] instead of its full TFI cone, and divisor sets
+/// that the signature classes *prove* infeasible are skipped without
+/// harvesting. The pre-screen is exact (see
+/// [`provably_infeasible`]), and a window bound covering a pivot's whole
+/// TFI leaves its pool unchanged, so on circuits inside the bound the
+/// windowed LAC list is bit-identical to the unwindowed one.
+///
+/// Emits `window_extracted` / `window_nodes` /
+/// `divisors_filtered_by_signature` trace counters when windowing is on.
+pub fn generate_lacs_with(
+    aig: &Aig,
+    sim: &Simulation,
+    patterns: &PatternBuffer,
+    fanouts: &FanoutMap,
+    config: &LacConfig,
+    window: &WindowConfig,
+) -> Vec<Lac> {
+    // Shared structural data, hoisted once per call (= once per flow
+    // iteration) instead of once per node.
+    let levels = fanouts.levels();
+    let signatures = window
+        .enabled
+        .then(|| Signatures::build(aig, sim, patterns));
+    let params = window.params();
+    let mut extractor = WindowExtractor::new();
+    let mut mffc_scratch = MffcScratch::new();
+
     let mut lacs = Vec::new();
     for node in aig.iter_ands() {
-        let mffc_size = aig.mffc(node, fanouts).len();
+        let mffc_size = aig.mffc_with(node, fanouts, &mut mffc_scratch).len();
+        let extracted = signatures.is_some().then(|| {
+            let w = extractor.extract(aig, fanouts, node, &params);
+            alsrac_rt::trace::add("window_extracted", 1);
+            alsrac_rt::trace::add("window_nodes", w.num_nodes() as u64);
+            w
+        });
+        let sets =
+            select_divisor_sets_with(aig, node, levels, extracted.as_ref(), &config.divisors);
         let mut count = 0usize;
-        for divisors in select_divisor_sets(aig, node, &config.divisors) {
+        for divisors in sets {
             if count >= config.lac_limit {
                 break;
+            }
+            if let Some(sigs) = &signatures {
+                if provably_infeasible(sigs, node, &divisors) {
+                    // Exactly the sets harvest would reject: skipping them
+                    // keeps the LAC list bit-identical while saving the
+                    // per-pattern harvest walk.
+                    alsrac_rt::trace::add("divisors_filtered_by_signature", 1);
+                    continue;
+                }
             }
             let divisors: Vec<Lit> = divisors.iter().map(|&d| d.lit()).collect();
             let Some(care) = ApproximateCareSet::harvest(sim, patterns, node.lit(), &divisors)
@@ -281,6 +340,51 @@ mod tests {
             assert!(count_for(&many, id) <= 4);
         }
         assert!(many.len() >= one.len());
+    }
+
+    #[test]
+    fn windowed_generation_is_bit_identical_when_windows_cover_tfis() {
+        let aig = alsrac_circuits::arith::kogge_stone_adder(4);
+        let patterns = PatternBuffer::random(8, 6, 11);
+        let sim = Simulation::new(&aig, &patterns);
+        let fanouts = aig.fanout_map();
+        let config = LacConfig {
+            lac_limit: 4,
+            ..LacConfig::default()
+        };
+        let plain = generate_lacs(&aig, &sim, &patterns, &fanouts, &config);
+        let windowed = generate_lacs_with(
+            &aig,
+            &sim,
+            &patterns,
+            &fanouts,
+            &config,
+            &WindowConfig::default(),
+        );
+        assert_eq!(plain.len(), windowed.len());
+        for (a, b) in plain.iter().zip(&windowed) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.divisors, b.divisors);
+            assert_eq!(a.cover, b.cover);
+            assert_eq!(a.est_cost, b.est_cost);
+            assert_eq!(a.est_saved, b.est_saved);
+        }
+        // A tight window bound still yields a well-formed (possibly
+        // different) candidate list.
+        let bounded = generate_lacs_with(
+            &aig,
+            &sim,
+            &patterns,
+            &fanouts,
+            &config,
+            &WindowConfig {
+                max_tfi: 4,
+                ..WindowConfig::default()
+            },
+        );
+        for lac in &bounded {
+            assert!(!lac.divisors.is_empty() || lac.cover.num_cubes() <= 1);
+        }
     }
 
     #[test]

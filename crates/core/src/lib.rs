@@ -26,6 +26,8 @@
 //!   truth table (Algorithm 2);
 //! * [`estimate`] — batch error estimation of all candidates from one base
 //!   simulation (the Su et al. DAC'18 scheme the paper adopts);
+//! * [`window`] — bounded-window configuration and the signature-class
+//!   feasibility pre-screen for window-local resubstitution;
 //! * [`flow`] — the complete ALSRAC loop (Algorithm 3) with dynamic
 //!   simulation-round control;
 //! * [`baseline`] — reimplementations of the paper's comparison methods:
@@ -64,6 +66,7 @@ pub mod estimate;
 pub mod exact;
 pub mod flow;
 pub mod lac;
+pub mod window;
 
 mod error;
 

@@ -20,21 +20,26 @@
 //! arena makes the hot loop allocation-free after warm-up (pinned by a
 //! counting-allocator test).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use alsrac_aig::{Aig, FanoutMap, Node, NodeId};
 
 use crate::{OutputWords, Simulation};
+
+/// Sentinel marking an empty frontier bucket / end of a bucket list.
+const EMPTY: u32 = u32::MAX;
 
 /// Reusable arena for event-driven flip propagation.
 ///
 /// Holds a flat `nodes × words` buffer of flipped values plus epoch-stamped
 /// dirty/queued arrays: bumping the epoch invalidates every per-node stamp
 /// in O(1), so consecutive [`propagate`](InfluenceScratch::propagate) calls
-/// reuse the buffers without clearing them. The frontier is a min-heap on
-/// node index, which is a valid evaluation order because fanins of an AND
-/// node always have smaller indices than the node itself.
+/// reuse the buffers without clearing them. The frontier is a level-bucketed
+/// worklist: one intrusive singly-linked list of node indices per circuit
+/// level, drained by a monotonically rising level cursor. That is a valid
+/// evaluation order because every fanout of a level-`L` node sits strictly
+/// above `L` (so nothing is ever pushed at or below the cursor), and
+/// same-level AND nodes never feed each other. Unlike the min-heap frontier
+/// it replaces, a pop is O(1) with no comparisons or sift-downs, and the
+/// buckets drain to empty on every call so they need no per-epoch clearing.
 ///
 /// One scratch per worker thread keeps the parallel estimator bit-identical
 /// at any thread count: the scratch carries no cross-call state that the
@@ -52,7 +57,14 @@ pub struct InfluenceScratch {
     /// frontier (dedup so shared fanouts enqueue once).
     queued_epoch: Vec<u32>,
     epoch: u32,
-    frontier: BinaryHeap<Reverse<u32>>,
+    /// Head node index of each level's frontier list ([`EMPTY`] when the
+    /// bucket is empty). Always all-[`EMPTY`] between propagations because
+    /// every call drains the frontier completely.
+    bucket_head: Vec<u32>,
+    /// Intrusive next pointers threading frontier nodes within a bucket.
+    next_in_bucket: Vec<u32>,
+    /// Frontier entries pushed but not yet popped this propagation.
+    pending: usize,
 }
 
 impl InfluenceScratch {
@@ -61,9 +73,9 @@ impl InfluenceScratch {
         InfluenceScratch::default()
     }
 
-    /// Resizes the arena for a graph of `num_nodes` nodes simulated at
-    /// `num_words` words and starts a fresh epoch.
-    fn begin(&mut self, num_nodes: usize, num_words: usize) {
+    /// Resizes the arena for a graph of `num_nodes` nodes at `num_levels`
+    /// levels simulated at `num_words` words and starts a fresh epoch.
+    fn begin(&mut self, num_nodes: usize, num_words: usize, num_levels: usize) {
         if self.num_words != num_words || self.dirty_epoch.len() < num_nodes {
             self.num_words = num_words;
             self.flipped.clear();
@@ -72,7 +84,14 @@ impl InfluenceScratch {
             self.dirty_epoch.resize(num_nodes, 0);
             self.queued_epoch.clear();
             self.queued_epoch.resize(num_nodes, 0);
+            self.next_in_bucket.clear();
+            self.next_in_bucket.resize(num_nodes, EMPTY);
             self.epoch = 0;
+        }
+        if self.bucket_head.len() < num_levels {
+            // Existing entries are already EMPTY (the frontier fully
+            // drains), so only the appended levels need the sentinel.
+            self.bucket_head.resize(num_levels, EMPTY);
         }
         // Epoch wraparound: reset all stamps once every 2^32 - 1 calls.
         if self.epoch == u32::MAX {
@@ -81,6 +100,19 @@ impl InfluenceScratch {
             self.epoch = 0;
         }
         self.epoch += 1;
+    }
+
+    /// Pushes `id` onto its level's frontier bucket unless it was already
+    /// queued this propagation.
+    #[inline]
+    fn enqueue(&mut self, id: NodeId, level: u32) {
+        let idx = id.index();
+        if self.queued_epoch[idx] != self.epoch {
+            self.queued_epoch[idx] = self.epoch;
+            self.next_in_bucket[idx] = self.bucket_head[level as usize];
+            self.bucket_head[level as usize] = idx as u32;
+            self.pending += 1;
+        }
     }
 
     /// Whether `node` ended the last propagation with a value differing
@@ -117,7 +149,7 @@ impl InfluenceScratch {
         node: NodeId,
     ) -> usize {
         let num_words = sim.num_words();
-        self.begin(aig.num_nodes(), num_words);
+        self.begin(aig.num_nodes(), num_words, fanouts.num_levels() as usize);
         let epoch = self.epoch;
 
         // Seed: the root differs from the base in every lane.
@@ -127,17 +159,24 @@ impl InfluenceScratch {
         }
         self.dirty_epoch[node.index()] = epoch;
         for &f in fanouts.fanouts(node) {
-            if self.queued_epoch[f.index()] != epoch {
-                self.queued_epoch[f.index()] = epoch;
-                self.frontier.push(Reverse(f.index() as u32));
-            }
+            self.enqueue(f, fanouts.level(f));
         }
 
         let mut visited = 1usize;
-        while let Some(Reverse(raw)) = self.frontier.pop() {
+        // Drain buckets by ascending level. The cursor never moves back:
+        // every enqueue targets a level strictly above the node being
+        // processed, so once a bucket empties it stays empty.
+        let mut cursor = fanouts.level(node) as usize;
+        while self.pending > 0 {
+            while self.bucket_head[cursor] == EMPTY {
+                cursor += 1;
+            }
+            let raw = self.bucket_head[cursor];
+            self.bucket_head[cursor] = self.next_in_bucket[raw as usize];
+            self.pending -= 1;
             let id = NodeId::new(raw as usize);
-            // Fanout maps list only AND consumers, and popping the minimum
-            // index guarantees both fanins (smaller indices) are final.
+            // Fanout maps list only AND consumers, and level order
+            // guarantees both fanins (strictly lower levels) are final.
             let Node::And { f0, f1 } = *aig.node(id) else {
                 continue;
             };
@@ -156,16 +195,13 @@ impl InfluenceScratch {
             if diff == 0 {
                 // The flip quenched here: downstream of this node nothing
                 // changes through this path, so its fanouts are not
-                // enqueued. When every frontier branch quenches the heap
-                // drains and the propagation stops early.
+                // enqueued. When every frontier branch quenches the
+                // worklist drains and the propagation stops early.
                 continue;
             }
             self.dirty_epoch[id.index()] = epoch;
             for &f in fanouts.fanouts(id) {
-                if self.queued_epoch[f.index()] != epoch {
-                    self.queued_epoch[f.index()] = epoch;
-                    self.frontier.push(Reverse(f.index() as u32));
-                }
+                self.enqueue(f, fanouts.level(f));
             }
         }
         alsrac_rt::trace::add("influence_words_computed", (visited * num_words) as u64);
@@ -175,14 +211,26 @@ impl InfluenceScratch {
 
 /// Per-output, per-pattern masks of where a flip of one node reaches each
 /// primary output.
+///
+/// Rows are stored sparsely: only outputs the flip actually reached get a
+/// row, and every other output implicitly carries the all-zero mask. This
+/// is what makes window-local estimation project to whole-circuit error
+/// without whole-circuit cost — a node deep inside a large graph usually
+/// reaches a handful of its outputs, so masks scale with the reached set
+/// rather than `outputs × words`.
 #[derive(Clone, Debug)]
 pub struct FlipInfluence {
     node: NodeId,
     num_words: usize,
-    /// Flattened `outputs × words`: bit set iff flipping the node flips
-    /// output `po` in that lane.
-    per_po: Vec<u64>,
-    /// Union of `per_po` over all outputs.
+    num_outputs: usize,
+    /// Output indices with a stored influence row, ascending.
+    touched: Vec<u32>,
+    /// Flattened `touched.len() × words` rows, parallel to `touched`: bit
+    /// set iff flipping the node flips that output in that lane.
+    rows: Vec<u64>,
+    /// All-zero row lent out for untouched outputs.
+    zeros: Vec<u64>,
+    /// Union of the rows over all outputs.
     any: Vec<u64>,
 }
 
@@ -216,19 +264,20 @@ impl FlipInfluence {
     ) -> FlipInfluence {
         let num_words = sim.num_words();
         scratch.propagate(aig, sim, fanouts, node);
-        let mut per_po = vec![0u64; aig.num_outputs() * num_words];
+        let mut touched = Vec::new();
+        let mut rows = Vec::new();
         let mut any = vec![0u64; num_words];
         for (po, output) in aig.outputs().iter().enumerate() {
             let o_node = output.lit.node();
             if !scratch.is_dirty(o_node) {
                 continue;
             }
-            let row = &mut per_po[po * num_words..(po + 1) * num_words];
-            for (w, slot) in row.iter_mut().enumerate() {
+            touched.push(po as u32);
+            for (w, any_w) in any.iter_mut().enumerate() {
                 // Complement on the output edge cancels in the XOR.
                 let diff = scratch.node_word(sim, o_node, w) ^ sim.node_word(o_node, w);
-                *slot = diff;
-                any[w] |= diff;
+                rows.push(diff);
+                *any_w |= diff;
             }
         }
         if any.iter().all(|&w| w == 0) {
@@ -238,7 +287,10 @@ impl FlipInfluence {
         FlipInfluence {
             node,
             num_words,
-            per_po,
+            num_outputs: aig.num_outputs(),
+            touched,
+            rows,
+            zeros: vec![0u64; num_words],
             any,
         }
     }
@@ -288,16 +340,17 @@ impl FlipInfluence {
             (cone.members().len() * num_words) as u64,
         );
 
-        let mut per_po = vec![0u64; aig.num_outputs() * num_words];
+        let mut touched = Vec::new();
+        let mut rows = Vec::new();
         let mut any = vec![0u64; num_words];
         for (po, output) in aig.outputs().iter().enumerate() {
             let o_node = output.lit.node();
             if let Some(new) = &flipped[o_node.index()] {
-                let row = &mut per_po[po * num_words..(po + 1) * num_words];
-                for (w, slot) in row.iter_mut().enumerate() {
+                touched.push(po as u32);
+                for w in 0..num_words {
                     // Complement on the output edge cancels in the XOR.
                     let diff = new[w] ^ sim.node_word(o_node, w);
-                    *slot = diff;
+                    rows.push(diff);
                     any[w] |= diff;
                 }
             }
@@ -305,7 +358,10 @@ impl FlipInfluence {
         FlipInfluence {
             node,
             num_words,
-            per_po,
+            num_outputs: aig.num_outputs(),
+            touched,
+            rows,
+            zeros: vec![0u64; num_words],
             any,
         }
     }
@@ -315,9 +371,14 @@ impl FlipInfluence {
         self.node
     }
 
-    /// Influence mask of output `po` (`[w]` indexed).
+    /// Influence mask of output `po` (`[w]` indexed). Outputs the flip
+    /// never reached share one all-zero row.
     pub fn po_mask(&self, po: usize) -> &[u64] {
-        &self.per_po[po * self.num_words..(po + 1) * self.num_words]
+        assert!(po < self.num_outputs, "output index out of range");
+        match self.touched.binary_search(&(po as u32)) {
+            Ok(slot) => &self.rows[slot * self.num_words..(slot + 1) * self.num_words],
+            Err(_) => &self.zeros,
+        }
     }
 
     /// Union of the influence masks over all outputs: lanes where a flip of
@@ -326,9 +387,14 @@ impl FlipInfluence {
         &self.any
     }
 
-    /// Number of outputs covered.
+    /// Number of outputs covered (stored rows plus implicit zero rows).
     pub fn num_outputs(&self) -> usize {
-        self.per_po.len().checked_div(self.num_words).unwrap_or(0)
+        self.num_outputs
+    }
+
+    /// Number of outputs the flip actually reached (stored rows).
+    pub fn num_touched_outputs(&self) -> usize {
+        self.touched.len()
     }
 
     /// Computes candidate output words after replacing the node's function.
@@ -344,9 +410,10 @@ impl FlipInfluence {
             "output count mismatch"
         );
         let mut out = base_outputs.clone();
-        for po in 0..out.num_outputs() {
-            let inf = self.po_mask(po);
-            let row = out.po_mut(po);
+        // Untouched outputs carry zero masks; only stored rows can flip.
+        for (slot, &po) in self.touched.iter().enumerate() {
+            let inf = &self.rows[slot * self.num_words..(slot + 1) * self.num_words];
+            let row = out.po_mut(po as usize);
             for (w, slot) in row.iter_mut().enumerate() {
                 *slot ^= inf[w] & change_mask[w];
             }
@@ -552,6 +619,32 @@ mod tests {
             inf.po_mask(0)[0] & patterns.word_mask(0),
             patterns.word_mask(0)
         );
+    }
+
+    #[test]
+    fn sparse_rows_cover_only_reached_outputs() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let dangling = aig.and(a, !b);
+        aig.add_output("y", x);
+        aig.add_output("z", a);
+        let patterns = PatternBuffer::exhaustive(2);
+        let sim = Simulation::new(&aig, &patterns);
+        let fanouts = aig.fanout_map();
+        // The dangling node reaches no output: zero stored rows, but the
+        // mask accessors still answer for every output index.
+        let inf = FlipInfluence::compute(&aig, &sim, &fanouts, dangling.node());
+        assert_eq!(inf.num_touched_outputs(), 0);
+        assert_eq!(inf.num_outputs(), 2);
+        assert!(inf.po_mask(0).iter().all(|&w| w == 0));
+        assert!(inf.po_mask(1).iter().all(|&w| w == 0));
+        // The y-driver reaches exactly one of the two outputs.
+        let inf = FlipInfluence::compute(&aig, &sim, &fanouts, x.node());
+        assert_eq!(inf.num_touched_outputs(), 1);
+        assert_eq!(inf.po_mask(0), inf.any_mask());
+        assert!(inf.po_mask(1).iter().all(|&w| w == 0));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   estimation of Su et al. (DAC 2018) that ALSRAC reuses;
 //! * [`SimDelta`] + [`Simulation::update`] — cone-local incremental
 //!   resimulation after a structural rewrite: values of nodes whose function
-//!   is untouched are carried over instead of re-evaluated.
+//!   is untouched are carried over instead of re-evaluated;
+//! * [`Signatures`] — complement-canonical equivalence classes over node
+//!   signatures, turning pairwise simulation-equality checks into O(1)
+//!   class-id comparisons for windowed divisor filtering.
 //!
 //! # Example
 //!
@@ -43,9 +46,11 @@
 mod delta;
 mod influence;
 mod patterns;
+mod signatures;
 mod simulation;
 
 pub use delta::{SimDelta, SimSource};
 pub use influence::{FlipInfluence, InfluenceScratch};
 pub use patterns::PatternBuffer;
+pub use signatures::Signatures;
 pub use simulation::{OutputWords, Simulation};

@@ -20,6 +20,11 @@
 #           a small circuit under both simulation engines and asserts the
 #           results bit-identical, `sim_words_saved > 0`, and strictly
 #           fewer node-words than the full-sweep baseline
+#   window-smoke
+#           windowed-resubstitution gate: `bench_window --smoke` runs the
+#           flow on every bundled Test-scale circuit with windowing on and
+#           off and asserts the results bit-identical with live window
+#           counters; also runs the scale-circuit generator self-checks
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,6 +92,28 @@ run_bench_smoke() {
     echo "bench-smoke gate passed."
 }
 
+run_window_smoke() {
+    # Self-contained like the smoke step: build the binary if invoked alone.
+    cargo build --release --offline -p alsrac-bench --bin bench_window
+
+    echo "==> scale-circuit generator self-checks"
+    cargo test -q --offline -p alsrac-circuits -- multiply_accumulate scale_suite
+
+    echo "==> windowed resubstitution gate (bit-exact + live counters)"
+    window_json="$(mktemp -t alsrac_bench_window_XXXXXX.json)"
+    # `all` runs the earlier steps first; keep their temp files in the trap.
+    trap 'rm -f "$window_json" "${bench_json:-}" "${smoke_trace:-}"' EXIT
+    # bench_window --smoke asserts: flow output bit-identical between the
+    # windowed and whole-circuit paths on every bundled circuit, and
+    # window_extracted > 0 on each windowed run.
+    target/release/bench_window --smoke "$window_json"
+    grep -q '"window_extracted": 0[,}]' "$window_json" && {
+        echo "window-smoke: window_extracted is zero" >&2
+        exit 1
+    }
+    echo "window-smoke gate passed."
+}
+
 case "$step" in
 fmt) run_fmt ;;
 clippy) run_clippy ;;
@@ -94,6 +121,7 @@ build) run_build ;;
 test) run_test ;;
 smoke) run_smoke ;;
 bench-smoke) run_bench_smoke ;;
+window-smoke) run_window_smoke ;;
 all)
     run_fmt
     run_clippy
@@ -101,9 +129,10 @@ all)
     run_test
     run_smoke
     run_bench_smoke
+    run_window_smoke
     ;;
 *)
-    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|all)" >&2
+    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|all)" >&2
     exit 2
     ;;
 esac
