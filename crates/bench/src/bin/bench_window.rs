@@ -84,9 +84,13 @@ fn scale_config(windowed: bool) -> FlowConfig {
 fn run_flow(bench: &Benchmark, config: &FlowConfig) -> WindowRun {
     // Counters are always collected; set ALSRAC_TRACE to also keep the
     // full per-iteration record stream for `report` to break down.
-    match std::env::var("ALSRAC_TRACE").ok().filter(|p| !p.is_empty()) {
-        Some(path) => trace::enable_file(&path).expect("trace file"),
-        None => trace::enable_writer(Box::new(std::io::sink())),
+    match trace::init_from_env() {
+        Ok(Some(_)) => {}
+        Ok(None) => trace::enable_writer(Box::new(std::io::sink())),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
     trace::reset();
     let start = Instant::now();

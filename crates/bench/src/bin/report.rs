@@ -17,9 +17,12 @@
 //!   inert span + counter per work item against the bare kernel) and fail
 //!   if the overhead exceeds 2%. The CI gate that keeps tracing free for
 //!   untraced runs.
+//! * `report --cert PATH` — validate a `BENCH_cert.json` certification
+//!   artifact (schema, certified-vs-sampled agreement, WCE bounds).
 //!
-//! Exits 0 on success, 1 on any validation or gate failure, 2 on usage
-//! errors.
+//! Every validation failure is a diagnostic naming the offending record's
+//! line number (or JSON path), never a panic backtrace. Exits 0 on
+//! success, 1 on any validation or gate failure, 2 on usage errors.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -35,6 +38,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("--smoke") => smoke(args.get(1).map(String::as_str)),
         Some("--overhead") => overhead(),
+        Some("--cert") => match args.get(1) {
+            Some(path) => cert_check(path),
+            None => usage("--cert needs a path"),
+        },
         Some(path) if !path.starts_with("--") => {
             let summary = match args.get(1).map(String::as_str) {
                 Some("--summary") => match args.get(2) {
@@ -53,7 +60,8 @@ fn main() -> ExitCode {
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: report <trace.jsonl> [--summary PATH] | report --smoke [PATH] | report --overhead"
+        "usage: report <trace.jsonl> [--summary PATH] | report --smoke [PATH] | \
+         report --overhead | report --cert PATH"
     );
     ExitCode::from(2)
 }
@@ -90,6 +98,10 @@ const KNOWN_COUNTERS: &[&str] = &[
     "window_nodes",
     "divisors_filtered_by_signature",
     "overhead_probe",
+    "cert_miters_built",
+    "cert_sat_queries",
+    "cert_wce_searches",
+    "cert_candidate_rejects",
 ];
 
 /// The record types a trace may contain, with their required fields (see
@@ -195,6 +207,13 @@ fn validate_record(rec: &Json) -> Result<(), String> {
                     ));
                 }
             }
+            // Optional SAT certificate (present for WCE / certify flows).
+            if let Some(cert) = rec.get("certified") {
+                let cert = cert
+                    .as_obj()
+                    .ok_or("run_end: \"certified\" is not an object")?;
+                validate_certified(cert).map_err(|e| format!("run_end: certified.{e}"))?;
+            }
         }
         "totals" => {
             let spans = rec
@@ -225,8 +244,54 @@ fn validate_record(rec: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// Reads a trace file, parsing and schema-validating every line.
-fn load(path: &str) -> Result<Vec<Json>, String> {
+/// Validates the fields of a `certified` object (a serialized
+/// `CertifiedMeasurement`), shared between `run_end` records and
+/// `BENCH_cert.json` entries. Error messages are field-relative; callers
+/// prefix the location.
+fn validate_certified(cert: &BTreeMap<String, Json>) -> Result<(), String> {
+    let get = |key: &str| cert.get(key);
+    let metric = get("metric")
+        .and_then(Json::as_str)
+        .ok_or("metric missing or not a string")?;
+    if !["ER", "NMED", "MRED", "WCE"].contains(&metric) {
+        return Err(format!("metric {metric:?} unknown"));
+    }
+    let value = get("value")
+        .and_then(Json::as_f64)
+        .ok_or("value missing or not a number")?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("value {value} out of range"));
+    }
+    if metric == "ER" && value > 1.0 {
+        return Err(format!("ER value {value} > 1"));
+    }
+    let exact = get("exact")
+        .and_then(Json::as_bool)
+        .ok_or("exact missing or not a bool")?;
+    let epsilon = get("epsilon")
+        .and_then(Json::as_f64)
+        .ok_or("epsilon missing or not a number")?;
+    let delta = get("delta")
+        .and_then(Json::as_f64)
+        .ok_or("delta missing or not a number")?;
+    if exact && (epsilon != 0.0 || delta != 0.0) {
+        return Err("exact certificate must have epsilon = delta = 0".to_string());
+    }
+    if !exact && (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) {
+        return Err(format!(
+            "approximate certificate needs epsilon > 0, delta in (0,1); got ({epsilon}, {delta})"
+        ));
+    }
+    get("sat_queries")
+        .and_then(Json::as_u64)
+        .ok_or("sat_queries missing or not an integer")?;
+    Ok(())
+}
+
+/// Reads a trace file, parsing and schema-validating every line. Each
+/// returned record carries its 1-based line number so downstream readers
+/// can name the offending record in diagnostics.
+fn load(path: &str) -> Result<Vec<(usize, Json)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -235,12 +300,33 @@ fn load(path: &str) -> Result<Vec<Json>, String> {
         }
         let rec = Json::parse(line).map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
         validate_record(&rec).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-        records.push(rec);
+        records.push((i + 1, rec));
     }
     if records.is_empty() {
         return Err(format!("{path}: no records"));
     }
     Ok(records)
+}
+
+/// Field accessors that *report* instead of panicking: a malformed or
+/// truncated record that slipped past (or post-dates) `validate_record`
+/// becomes a schema-validation error naming the record's line number.
+fn req_u64(rec: &Json, path: &str, line: usize, key: &str) -> Result<u64, String> {
+    rec.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{path}:{line}: missing or non-integer {key:?}"))
+}
+
+fn req_f64(rec: &Json, path: &str, line: usize, key: &str) -> Result<f64, String> {
+    rec.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}:{line}: missing or non-number {key:?}"))
+}
+
+fn req_str<'a>(rec: &'a Json, path: &str, line: usize, key: &str) -> Result<&'a str, String> {
+    rec.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}:{line}: missing or non-string {key:?}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -262,50 +348,55 @@ struct RunDigest {
 }
 
 fn analyze(path: &str, summary_path: &str) -> ExitCode {
-    let records = match load(path) {
-        Ok(r) => r,
+    match try_analyze(path, summary_path) {
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
-    };
+    }
+}
+
+fn try_analyze(path: &str, summary_path: &str) -> Result<ExitCode, String> {
+    let records = load(path)?;
 
     let mut runs: BTreeMap<u64, RunDigest> = BTreeMap::new();
     let mut phase_ns: BTreeMap<String, u64> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-    for rec in &records {
-        let typ = rec.get("type").and_then(Json::as_str).expect("validated");
-        let run_of = |rec: &Json| rec.get("run").and_then(Json::as_u64).expect("validated");
+    for &(line, ref rec) in &records {
+        let typ = req_str(rec, path, line, "type")?;
         match typ {
             "run_start" => {
-                let digest = runs.entry(run_of(rec)).or_default();
-                digest.flow = rec.get("flow").and_then(Json::as_str).unwrap().to_string();
-                digest.circuit = rec
-                    .get("circuit")
-                    .and_then(Json::as_str)
-                    .unwrap()
-                    .to_string();
-                digest.start_ands = rec.get("ands").and_then(Json::as_u64).unwrap();
+                let run = req_u64(rec, path, line, "run")?;
+                let digest = runs.entry(run).or_default();
+                digest.flow = req_str(rec, path, line, "flow")?.to_string();
+                digest.circuit = req_str(rec, path, line, "circuit")?.to_string();
+                digest.start_ands = req_u64(rec, path, line, "ands")?;
             }
             "iteration" => {
-                let digest = runs.entry(run_of(rec)).or_default();
+                let run = req_u64(rec, path, line, "run")?;
+                let digest = runs.entry(run).or_default();
                 if rec.get("accepted").and_then(Json::as_bool) == Some(true) {
                     digest
                         .trajectory
-                        .push(rec.get("est_error").and_then(Json::as_f64).unwrap());
+                        .push(req_f64(rec, path, line, "est_error")?);
                 }
                 if let Some(phases) = rec.get("phase_ns").and_then(Json::as_obj) {
                     for (name, v) in phases {
-                        *phase_ns.entry(name.clone()).or_insert(0) += v.as_u64().unwrap();
+                        let ns = v.as_u64().ok_or_else(|| {
+                            format!("{path}:{line}: phase_ns.{name} is not an integer")
+                        })?;
+                        *phase_ns.entry(name.clone()).or_insert(0) += ns;
                     }
                 }
             }
             "run_end" => {
-                let digest = runs.entry(run_of(rec)).or_default();
-                digest.iterations = rec.get("iterations").and_then(Json::as_u64).unwrap();
-                digest.applied = rec.get("applied").and_then(Json::as_u64).unwrap();
-                digest.end_ands = rec.get("ands").and_then(Json::as_u64).unwrap();
-                digest.wall_ns = rec.get("wall_ns").and_then(Json::as_u64).unwrap();
+                let run = req_u64(rec, path, line, "run")?;
+                let digest = runs.entry(run).or_default();
+                digest.iterations = req_u64(rec, path, line, "iterations")?;
+                digest.applied = req_u64(rec, path, line, "applied")?;
+                digest.end_ands = req_u64(rec, path, line, "ands")?;
+                digest.wall_ns = req_u64(rec, path, line, "wall_ns")?;
                 digest.error_rate = rec
                     .get("measured")
                     .and_then(|m| m.get("error_rate"))
@@ -314,7 +405,10 @@ fn analyze(path: &str, summary_path: &str) -> ExitCode {
             "totals" => {
                 if let Some(cs) = rec.get("counters").and_then(Json::as_obj) {
                     for (name, v) in cs {
-                        *counters.entry(name.clone()).or_insert(0) += v.as_u64().unwrap();
+                        let count = v.as_u64().ok_or_else(|| {
+                            format!("{path}:{line}: counter {name} is not an integer")
+                        })?;
+                        *counters.entry(name.clone()).or_insert(0) += count;
                     }
                 }
             }
@@ -400,12 +494,10 @@ fn analyze(path: &str, summary_path: &str) -> ExitCode {
         .obj("counters", counters_obj)
         .arr("runs", run_arr)
         .finish();
-    if let Err(e) = std::fs::write(summary_path, summary + "\n") {
-        eprintln!("error: cannot write {summary_path}: {e}");
-        return ExitCode::FAILURE;
-    }
+    std::fs::write(summary_path, summary + "\n")
+        .map_err(|e| format!("cannot write {summary_path}: {e}"))?;
     println!("\nwrote {summary_path}");
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 // ---------------------------------------------------------------------------
@@ -457,12 +549,13 @@ fn smoke(path_arg: Option<&str>) -> ExitCode {
         eprintln!("error: smoke mismatch: {msg}");
         ExitCode::FAILURE
     };
-    let accepted: Vec<&Json> = records
+    let accepted: Vec<(usize, &Json)> = records
         .iter()
-        .filter(|r| {
+        .filter(|(_, r)| {
             r.get("type").and_then(Json::as_str) == Some("iteration")
                 && r.get("accepted").and_then(Json::as_bool) == Some(true)
         })
+        .map(|&(line, ref r)| (line, r))
         .collect();
     if accepted.is_empty() {
         return fail("no accepted iterations — the bit-exactness check would be vacuous".into());
@@ -474,35 +567,46 @@ fn smoke(path_arg: Option<&str>) -> ExitCode {
             result.history.len()
         ));
     }
-    for (rec, hist) in accepted.iter().zip(&result.history) {
-        let est = rec.get("est_error").and_then(Json::as_f64).unwrap();
+    for (&(line, rec), hist) in accepted.iter().zip(&result.history) {
+        let est = match req_f64(rec, &path, line, "est_error") {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
         if est.to_bits() != hist.estimated_error.to_bits() {
             return fail(format!(
-                "est_error {est:?} != history {:?} (bit-exact check)",
+                "{path}:{line}: est_error {est:?} != history {:?} (bit-exact check)",
                 hist.estimated_error
             ));
         }
         if rec.get("ands").and_then(Json::as_u64) != Some(hist.ands as u64) {
-            return fail(format!("iteration ands != history ands {}", hist.ands));
+            return fail(format!(
+                "{path}:{line}: iteration ands != history ands {}",
+                hist.ands
+            ));
         }
         if rec.get("rounds").and_then(Json::as_u64) != Some(hist.rounds as u64) {
             return fail(format!(
-                "iteration rounds != history rounds {}",
+                "{path}:{line}: iteration rounds != history rounds {}",
                 hist.rounds
             ));
         }
     }
     let run_end = records
         .iter()
-        .find(|r| r.get("type").and_then(Json::as_str) == Some("run_end"));
-    let Some(run_end) = run_end else {
+        .find(|(_, r)| r.get("type").and_then(Json::as_str) == Some("run_end"));
+    let Some(&(line, ref run_end)) = run_end else {
         return fail("no run_end record".to_string());
     };
-    let measured = run_end.get("measured").unwrap();
-    let er = measured.get("error_rate").and_then(Json::as_f64).unwrap();
+    let Some(measured) = run_end.get("measured") else {
+        return fail(format!("{path}:{line}: run_end has no \"measured\""));
+    };
+    let er = match measured.get("error_rate").and_then(Json::as_f64) {
+        Some(v) => v,
+        None => return fail(format!("{path}:{line}: measured.error_rate missing")),
+    };
     if er.to_bits() != result.measured.error_rate.to_bits() {
         return fail(format!(
-            "measured.error_rate {er:?} != {:?} (bit-exact check)",
+            "{path}:{line}: measured.error_rate {er:?} != {:?} (bit-exact check)",
             result.measured.error_rate
         ));
     }
@@ -513,28 +617,30 @@ fn smoke(path_arg: Option<&str>) -> ExitCode {
     ];
     for (key, want) in checks {
         if run_end.get(key).and_then(Json::as_u64) != Some(want) {
-            return fail(format!("run_end.{key} != {want}"));
+            return fail(format!("{path}:{line}: run_end.{key} != {want}"));
         }
     }
     if measured.get("num_patterns").and_then(Json::as_u64)
         != Some(result.measured.num_patterns as u64)
     {
-        return fail("measured.num_patterns mismatch".to_string());
+        return fail(format!("{path}:{line}: measured.num_patterns mismatch"));
     }
     for (key, want) in [
         ("nmed", result.measured.nmed),
         ("mred", result.measured.mred),
     ] {
-        let got = measured.get(key).unwrap();
+        let Some(got) = measured.get(key) else {
+            return fail(format!("{path}:{line}: measured.{key} missing"));
+        };
         match want {
             Some(w) => {
                 if got.as_f64().map(f64::to_bits) != Some(w.to_bits()) {
-                    return fail(format!("measured.{key} mismatch"));
+                    return fail(format!("{path}:{line}: measured.{key} mismatch"));
                 }
             }
             None => {
                 if !got.is_null() {
-                    return fail(format!("measured.{key} should be null"));
+                    return fail(format!("{path}:{line}: measured.{key} should be null"));
                 }
             }
         }
@@ -547,6 +653,178 @@ fn smoke(path_arg: Option<&str>) -> ExitCode {
         result.measured.error_rate,
     );
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// --cert: BENCH_cert.json validation
+// ---------------------------------------------------------------------------
+
+fn cert_check(path: &str) -> ExitCode {
+    match try_cert_check(path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates a `BENCH_cert.json` artifact: schema, certificate internal
+/// consistency, Wilson-bound agreement between sampled and certified
+/// error rates (recomputed, not trusted), and WCE-within-bound claims.
+fn try_cert_check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let root = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let name = root
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("missing string \"benchmark\"")?;
+    if name != "cert" {
+        return Err(format!("benchmark is {name:?}, expected \"cert\""));
+    }
+    for key in ["threads", "seed"] {
+        root.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("missing integer {key:?}"))?;
+    }
+
+    let er_entries = root
+        .get("er")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"er\" array")?;
+    if er_entries.is_empty() {
+        return Err("\"er\" array is empty".to_string());
+    }
+    for (i, entry) in er_entries.iter().enumerate() {
+        let at = |e: String| format!("er[{i}]: {e}");
+        let circuit = entry
+            .get("circuit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing string \"circuit\"".into()))?;
+        let within = |e: String| format!("er[{i}] ({circuit}): {e}");
+        for key in ["inputs", "outputs", "ands_before", "ands_after", "applied"] {
+            entry
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| within(format!("missing integer {key:?}")))?;
+        }
+        let cert = entry
+            .get("certified")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| within("missing \"certified\" object".into()))?;
+        validate_certified(cert).map_err(|e| within(format!("certified.{e}")))?;
+        let value = cert.get("value").and_then(Json::as_f64).expect("validated");
+        if cert.get("metric").and_then(Json::as_str) != Some("ER") {
+            return Err(within("certified.metric must be \"ER\"".into()));
+        }
+        let errors = entry
+            .get("sampled_errors")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| within("missing integer \"sampled_errors\"".into()))?;
+        let patterns = entry
+            .get("sampled_patterns")
+            .and_then(Json::as_u64)
+            .filter(|&n| n > 0)
+            .ok_or_else(|| within("missing positive \"sampled_patterns\"".into()))?;
+        if errors > patterns {
+            return Err(within(format!(
+                "sampled_errors {errors} > patterns {patterns}"
+            )));
+        }
+        // Recompute the agreement gate instead of trusting the flag: the
+        // certified rate must sit inside the Wilson interval around the
+        // sampled estimate (widened by ε for approximate certificates).
+        let (low, high) =
+            alsrac_metrics::wilson_interval(errors, patterns, alsrac_bench::CERT_WILSON_Z);
+        let epsilon = cert
+            .get("epsilon")
+            .and_then(Json::as_f64)
+            .expect("validated");
+        let (value_low, value_high) = if epsilon > 0.0 {
+            (value / (1.0 + epsilon), value * (1.0 + epsilon))
+        } else {
+            (value, value)
+        };
+        let agrees = value_high >= low && value_low <= high;
+        if !agrees {
+            return Err(within(format!(
+                "certified rate {value} outside Wilson interval [{low}, {high}] \
+                 of {errors}/{patterns} sampled"
+            )));
+        }
+        if entry.get("agreement").and_then(Json::as_bool) != Some(true) {
+            return Err(within("\"agreement\" must be true".into()));
+        }
+    }
+
+    let wce_entries = root
+        .get("wce")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"wce\" array")?;
+    if wce_entries.is_empty() {
+        return Err("\"wce\" array is empty".to_string());
+    }
+    for (i, entry) in wce_entries.iter().enumerate() {
+        let at = |e: String| format!("wce[{i}]: {e}");
+        let circuit = entry
+            .get("circuit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing string \"circuit\"".into()))?;
+        let within = |e: String| format!("wce[{i}] ({circuit}): {e}");
+        let bound = entry
+            .get("bound")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| within("missing integer \"bound\"".into()))?;
+        for key in [
+            "ands_before",
+            "ands_after",
+            "applied",
+            "sampled_max_distance",
+        ] {
+            entry
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| within(format!("missing integer {key:?}")))?;
+        }
+        let cert = entry
+            .get("certified")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| within("missing \"certified\" object".into()))?;
+        validate_certified(cert).map_err(|e| within(format!("certified.{e}")))?;
+        if cert.get("metric").and_then(Json::as_str) != Some("WCE") {
+            return Err(within("certified.metric must be \"WCE\"".into()));
+        }
+        if cert.get("exact").and_then(Json::as_bool) != Some(true) {
+            return Err(within("WCE certificates must be exact".into()));
+        }
+        let value = cert.get("value").and_then(Json::as_f64).expect("validated");
+        if value > bound as f64 {
+            return Err(within(format!(
+                "certified WCE {value} exceeds the configured bound {bound}"
+            )));
+        }
+        let sampled = entry
+            .get("sampled_max_distance")
+            .and_then(Json::as_u64)
+            .expect("checked above");
+        if (sampled as f64) > value {
+            return Err(within(format!(
+                "sampled max distance {sampled} exceeds the certified maximum {value} \
+                 — the certificate cannot be exact"
+            )));
+        }
+        if entry.get("within_bound").and_then(Json::as_bool) != Some(true) {
+            return Err(within("\"within_bound\" must be true".into()));
+        }
+    }
+
+    println!(
+        "cert OK: {path}: {} ER certificates (all inside the Wilson interval), \
+         {} WCE certificates (all within their bounds)",
+        er_entries.len(),
+        wce_entries.len()
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -615,4 +893,95 @@ fn overhead() -> ExitCode {
          after {OVERHEAD_ATTEMPTS} attempts"
     );
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique tempfile under the target directory, cleaned up on drop.
+    struct TempTrace(String);
+
+    impl TempTrace {
+        fn write(name: &str, content: &str) -> TempTrace {
+            let path = std::env::temp_dir()
+                .join(format!("report_test_{}_{name}", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            std::fs::write(&path, content).expect("write temp trace");
+            TempTrace(path)
+        }
+    }
+
+    impl Drop for TempTrace {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    const TOTALS: &str = r#"{"type":"totals","spans":{},"counters":{}}"#;
+
+    #[test]
+    fn truncated_json_is_reported_with_its_line_number() {
+        let t = TempTrace::write(
+            "truncated",
+            &format!("{TOTALS}\n{{\"type\":\"run_end\",\"run\":1\n"),
+        );
+        let err = load(&t.0).expect_err("truncated line must fail");
+        assert!(err.contains(":2:"), "no line number: {err}");
+        assert!(err.contains("invalid JSON"), "wrong diagnostic: {err}");
+    }
+
+    #[test]
+    fn schema_violations_name_the_line_and_field() {
+        let t = TempTrace::write(
+            "schema",
+            &format!("{TOTALS}\n{{\"type\":\"iteration\",\"run\":1}}\n"),
+        );
+        let err = load(&t.0).expect_err("incomplete record must fail");
+        assert!(err.contains(":2:"), "no line number: {err}");
+        assert!(err.contains("iteration"), "wrong diagnostic: {err}");
+    }
+
+    #[test]
+    fn unknown_counters_are_rejected() {
+        let t = TempTrace::write(
+            "counter",
+            r#"{"type":"totals","spans":{},"counters":{"cert_sat_quries":1}}"#,
+        );
+        let err = load(&t.0).expect_err("typoed counter must fail");
+        assert!(err.contains("cert_sat_quries"), "wrong diagnostic: {err}");
+    }
+
+    #[test]
+    fn empty_traces_are_an_error_not_a_panic() {
+        let t = TempTrace::write("empty", "\n\n");
+        assert!(load(&t.0).is_err());
+    }
+
+    fn cert_artifact(certified_value: f64) -> String {
+        format!(
+            r#"{{"benchmark":"cert","threads":1,"seed":1,
+"er":[{{"circuit":"rca32","inputs":12,"outputs":7,"ands_before":49,"ands_after":40,
+"applied":2,"sampled_errors":100,"sampled_patterns":1000,"agreement":true,
+"certified":{{"metric":"ER","value":{certified_value},"exact":true,"epsilon":0,"delta":0,"sat_queries":3}}}}],
+"wce":[{{"circuit":"rca32","bound":4,"ands_before":49,"ands_after":40,"applied":2,
+"sampled_max_distance":3,"within_bound":true,
+"certified":{{"metric":"WCE","value":3,"exact":true,"epsilon":0,"delta":0,"sat_queries":7}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn cert_artifacts_inside_the_wilson_interval_pass() {
+        let t = TempTrace::write("cert_ok", &cert_artifact(0.1));
+        try_cert_check(&t.0).expect("agreeing artifact must validate");
+    }
+
+    #[test]
+    fn cert_artifacts_outside_the_wilson_interval_fail() {
+        let t = TempTrace::write("cert_bad", &cert_artifact(0.9));
+        let err = try_cert_check(&t.0).expect_err("disagreement must fail");
+        assert!(err.contains("Wilson"), "wrong diagnostic: {err}");
+        assert!(err.contains("rca32"), "must name the circuit: {err}");
+    }
 }

@@ -26,6 +26,14 @@ use alsrac_circuits::catalog::Scale;
 use alsrac_map::cell::{map_cells, Library};
 use alsrac_map::lut::map_luts;
 
+/// Confidence width (in standard normal z-units) of the Wilson interval
+/// used by the certification gates: `bench_cert` records agreement
+/// between the sampled and SAT-certified error rates at this z, and
+/// `report --cert` recomputes the same interval when validating
+/// `BENCH_cert.json`. z = 3.89 keeps the false-failure probability of the
+/// CI gate around 1e-4 per circuit.
+pub const CERT_WILSON_Z: f64 = 3.89;
+
 /// Parsed command-line options shared by every experiment binary.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -91,7 +99,9 @@ impl Options {
                     .unwrap_or_else(|e| usage(&format!("--trace {path}: cannot create: {e}")));
                 true
             }
-            None => alsrac_rt::trace::init_from_env().is_some(),
+            None => alsrac_rt::trace::init_from_env()
+                .unwrap_or_else(|e| usage(&e.to_string()))
+                .is_some(),
         };
         if enabled {
             alsrac_rt::trace::emit(

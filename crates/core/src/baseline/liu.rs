@@ -262,6 +262,7 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             wall_ns,
             measure_ns,
             &measured,
+            None,
         ));
     }
     Ok(FlowResult {
@@ -269,6 +270,7 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         iterations: config.steps,
         applied,
         measured,
+        certificate: None,
         history,
     })
 }

@@ -339,7 +339,7 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
     let wall_ns = flow_span.finish();
     if trace::is_enabled() {
         trace::emit(run_end_record(
-            run_id, iterations, applied, &current, wall_ns, measure_ns, &measured,
+            run_id, iterations, applied, &current, wall_ns, measure_ns, &measured, None,
         ));
     }
     Ok(FlowResult {
@@ -347,6 +347,7 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
         iterations,
         applied,
         measured,
+        certificate: None,
         history,
     })
 }

@@ -1,0 +1,235 @@
+//! SAT-backed error certification: exact guarantees for flow results.
+//!
+//! The flow's measurements are statistical (Monte-Carlo sampling with
+//! Wilson bounds); a shippable approximate circuit needs a *certificate*.
+//! This module glues `alsrac-sat`'s miter + model-counting machinery to
+//! the metric types: [`certify_error_rate`] counts the differing-input
+//! set of the original-vs-approximate miter (exact by enumeration, or
+//! (ε, δ)-approximate by XOR-hash counting on wide-input circuits), and
+//! [`certify_wce`] binary-searches the maximum error distance with
+//! comparator clauses. Both return an
+//! [`alsrac_metrics::CertifiedMeasurement`].
+//!
+//! [`wce_within`] is the accept-side gate of the WCE-constrained flow: a
+//! single `distance > bound` SAT query replacing the sampled estimate in
+//! the acceptance decision.
+//!
+//! Telemetry: `cert_miters_built`, `cert_sat_queries`,
+//! `cert_wce_searches`, and `cert_candidate_rejects` counters plus a
+//! `certify` span, all inert when tracing is disabled.
+
+use alsrac_aig::Aig;
+use alsrac_metrics::{CertifiedMeasurement, ErrorMetric};
+use alsrac_rt::trace;
+use alsrac_sat::count;
+use alsrac_sat::miter::Miter;
+
+/// Certifies the error rate of `approx` against `original` by model
+/// counting over the miter inputs.
+///
+/// Exact (complete enumeration) for input counts up to
+/// [`count::ENUMERATION_INPUT_LIMIT`] — and whenever the differing-input
+/// set turns out small — otherwise an XOR-hash estimate at
+/// ([`count::DEFAULT_EPSILON`], [`count::DEFAULT_DELTA`]). `seed` only
+/// influences the hash randomness.
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in input or output counts.
+pub fn certify_error_rate(original: &Aig, approx: &Aig, seed: u64) -> CertifiedMeasurement {
+    let span = trace::span("certify");
+    let mut miter = Miter::new(original, approx);
+    trace::add("cert_miters_built", 1);
+    let counted = count::count_errors(&mut miter, seed);
+    trace::add("cert_sat_queries", counted.sat_queries);
+    span.finish();
+    CertifiedMeasurement {
+        metric: ErrorMetric::ErrorRate,
+        value: counted.rate(),
+        exact: counted.exact,
+        epsilon: counted.epsilon,
+        delta: counted.delta,
+        sat_queries: counted.sat_queries,
+    }
+}
+
+/// Certifies the exact maximum error distance (WCE) of `approx` against
+/// `original` by binary search over `distance > t` comparator queries.
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in arity or have more than 63 outputs
+/// (error distances are undecodable, as in `alsrac-metrics`).
+pub fn certify_wce(original: &Aig, approx: &Aig) -> CertifiedMeasurement {
+    let span = trace::span("certify");
+    let mut miter = Miter::new(original, approx);
+    trace::add("cert_miters_built", 1);
+    let cert = miter.certify_max_distance();
+    trace::add("cert_sat_queries", cert.queries);
+    trace::add("cert_wce_searches", 1);
+    span.finish();
+    CertifiedMeasurement {
+        metric: ErrorMetric::Wce,
+        value: cert.max_distance as f64,
+        exact: true,
+        epsilon: 0.0,
+        delta: 0.0,
+        sat_queries: cert.queries,
+    }
+}
+
+/// The WCE accept gate: is the maximum error distance of `approx` against
+/// `original` at most `bound`, certified by a single SAT query?
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in arity or have more than 63 outputs.
+pub fn wce_within(original: &Aig, approx: &Aig, bound: u64) -> bool {
+    let span = trace::span("certify");
+    let mut miter = Miter::new(original, approx);
+    trace::add("cert_miters_built", 1);
+    trace::add("cert_sat_queries", 1);
+    let within = miter.distance_exceeds(bound) == alsrac_sat::SatResult::Unsat;
+    span.finish();
+    within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alsrac_aig::Lit;
+    use alsrac_circuits::catalog::{epfl_arith, epfl_control, iscas_and_arith, Benchmark, Scale};
+
+    /// Flips output `position` of `original` on the input patterns where
+    /// the first `n - 6` inputs are all 1 — at most 64 differing patterns
+    /// on any circuit, so exact enumeration stays cheap in the sweeps.
+    fn corrupted(original: &Aig, position: usize) -> Aig {
+        let mut approx = original.clone();
+        let keep = original.num_inputs().saturating_sub(6);
+        let gate_inputs: Vec<Lit> = approx.inputs()[..keep].iter().map(|id| id.lit()).collect();
+        let gate = approx.and_all(&gate_inputs);
+        let flipped = approx.xor(approx.output_lits()[position], gate);
+        approx.set_output_lit(position, flipped);
+        approx
+    }
+
+    fn bundled(scale: Scale) -> impl Iterator<Item = Benchmark> {
+        iscas_and_arith(scale)
+            .into_iter()
+            .chain(epfl_control(scale))
+            .chain(epfl_arith(scale))
+    }
+
+    #[test]
+    fn certified_error_rate_matches_exhaustive_on_all_bundled_circuits() {
+        let mut swept = 0;
+        for bench in bundled(Scale::Test) {
+            if bench.aig.num_inputs() > alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT {
+                continue;
+            }
+            let approx = corrupted(&bench.aig, 0);
+            let patterns = alsrac_sim::PatternBuffer::exhaustive(bench.aig.num_inputs());
+            let measured =
+                alsrac_metrics::measure(&bench.aig, &approx, &patterns).expect("measure");
+            let cert = certify_error_rate(&bench.aig, &approx, 7);
+            assert!(
+                cert.exact,
+                "{}: certificate must be exact",
+                bench.paper_name
+            );
+            assert!(
+                measured.error_rate > 0.0,
+                "{}: corruption inert",
+                bench.paper_name
+            );
+            assert_eq!(
+                cert.value, measured.error_rate,
+                "{}: model count disagrees with exhaustive simulation",
+                bench.paper_name
+            );
+            swept += 1;
+        }
+        assert!(swept >= 9, "only {swept} circuits swept");
+    }
+
+    #[test]
+    fn certified_wce_matches_exhaustive_on_bundled_circuits() {
+        let mut swept = 0;
+        for bench in bundled(Scale::Test) {
+            if bench.aig.num_inputs() > alsrac_metrics::EXHAUSTIVE_INPUT_LIMIT
+                || bench.aig.num_outputs() > 63
+            {
+                continue;
+            }
+            let approx = corrupted(&bench.aig, bench.aig.num_outputs() - 1);
+            let patterns = alsrac_sim::PatternBuffer::exhaustive(bench.aig.num_inputs());
+            let measured =
+                alsrac_metrics::measure(&bench.aig, &approx, &patterns).expect("measure");
+            let expected = measured.max_error_distance.expect("decodable");
+            let cert = certify_wce(&bench.aig, &approx);
+            assert!(
+                cert.exact,
+                "{}: WCE certificates are exact",
+                bench.paper_name
+            );
+            assert_eq!(
+                cert.value, expected as f64,
+                "{}: binary search disagrees with exhaustive simulation",
+                bench.paper_name
+            );
+            assert!(
+                wce_within(&bench.aig, &approx, expected),
+                "{}",
+                bench.paper_name
+            );
+            assert!(
+                expected == 0 || !wce_within(&bench.aig, &approx, expected - 1),
+                "{}: bound below the maximum must fail",
+                bench.paper_name
+            );
+            swept += 1;
+        }
+        assert!(swept >= 9, "only {swept} circuits swept");
+    }
+
+    #[test]
+    fn identical_circuits_certify_zero() {
+        let a = alsrac_circuits::arith::ripple_carry_adder(3);
+        let er = certify_error_rate(&a, &a.clone(), 1);
+        assert!(er.exact);
+        assert_eq!(er.value, 0.0);
+        let wce = certify_wce(&a, &a.clone());
+        assert_eq!(wce.value, 0.0);
+        assert!(wce_within(&a, &a.clone(), 0));
+    }
+
+    #[test]
+    fn certified_rate_matches_exhaustive_measurement() {
+        let original = alsrac_circuits::arith::ripple_carry_adder(3);
+        let mut approx = original.clone();
+        approx.set_output_lit(1, Lit::FALSE);
+        let patterns = alsrac_sim::PatternBuffer::exhaustive(original.num_inputs());
+        let measured = alsrac_metrics::measure(&original, &approx, &patterns).expect("measure");
+        let cert = certify_error_rate(&original, &approx, 1);
+        assert!(cert.exact);
+        assert_eq!(cert.value, measured.error_rate);
+    }
+
+    #[test]
+    fn certified_wce_matches_exhaustive_measurement() {
+        let original = alsrac_circuits::arith::ripple_carry_adder(3);
+        let mut approx = original.clone();
+        let last = approx.num_outputs() - 1;
+        approx.set_output_lit(last, Lit::FALSE);
+        let patterns = alsrac_sim::PatternBuffer::exhaustive(original.num_inputs());
+        let measured = alsrac_metrics::measure(&original, &approx, &patterns).expect("measure");
+        let cert = certify_wce(&original, &approx);
+        assert_eq!(
+            cert.value,
+            measured.max_error_distance.expect("decodable") as f64
+        );
+        let bound = cert.value as u64;
+        assert!(wce_within(&original, &approx, bound));
+        assert!(!wce_within(&original, &approx, bound - 1));
+    }
+}

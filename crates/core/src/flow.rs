@@ -1,11 +1,12 @@
 //! The ALSRAC flow (Algorithm 3 of the paper).
 
 use alsrac_aig::Aig;
-use alsrac_metrics::{measure, measure_auto, ErrorMetric, Measurement};
+use alsrac_metrics::{measure, measure_auto, CertifiedMeasurement, ErrorMetric, Measurement};
 use alsrac_rt::json::Obj;
 use alsrac_rt::{derive_indexed, derive_seed, trace, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
+use crate::certify;
 use crate::estimate::Estimator;
 use crate::lac::{generate_lacs_with, LacConfig};
 use crate::window::WindowConfig;
@@ -60,6 +61,15 @@ pub struct FlowConfig {
     /// exact); this exists as the measured baseline for `bench_sim` and the
     /// incremental-vs-full determinism tests.
     pub full_resim: bool,
+    /// Produce a SAT certificate of the final error
+    /// ([`FlowResult::certificate`]): exact model counting of the miter
+    /// for [`ErrorMetric::ErrorRate`] (XOR-hash (ε, δ) counting beyond
+    /// [`alsrac_sat::count::ENUMERATION_INPUT_LIMIT`] inputs). Implied —
+    /// always on — for [`ErrorMetric::Wce`], whose accept decision is
+    /// SAT-backed to begin with. Ignored (no certificate) for the
+    /// distance-mean metrics NMED/MRED, which model counting does not
+    /// cover.
+    pub certify: bool,
     /// LAC generation options (divisor selection etc.).
     pub lac: LacConfig,
     /// Window-local resubstitution options. Enabled by default; window
@@ -89,6 +99,7 @@ impl Default for FlowConfig {
             optimize_after_apply: true,
             optimize_period: 1,
             full_resim: false,
+            certify: false,
             lac: LacConfig::default(),
             window: WindowConfig::default(),
         }
@@ -170,6 +181,11 @@ pub struct FlowResult {
     pub applied: usize,
     /// Final accuracy measurement against the original circuit.
     pub measured: Measurement,
+    /// SAT certificate of the final error: always present for
+    /// [`ErrorMetric::Wce`] (exact maximum error distance), present for
+    /// [`ErrorMetric::ErrorRate`] when [`FlowConfig::certify`] is set,
+    /// absent otherwise.
+    pub certificate: Option<CertifiedMeasurement>,
     /// Per-accepted-iteration trace.
     pub history: Vec<IterationRecord>,
 }
@@ -266,6 +282,11 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
     let original_est_outputs = (!config.full_resim)
         .then(|| Simulation::new(original, &est_patterns).output_words(original));
     let mut est_sim: Option<Simulation> = None;
+    // WCE mode: the threshold is an absolute maximum error distance, and
+    // every acceptance is gated by a SAT query instead of trusting the
+    // sampled estimate (which can only *under*-estimate a maximum).
+    let wce_bound =
+        (config.metric == ErrorMetric::Wce).then(|| config.threshold.min(u64::MAX as f64) as u64);
 
     while iterations < config.max_iterations {
         iterations += 1;
@@ -364,17 +385,25 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
                 }
                 // Skip the rare candidate whose materialized cover hashes onto
                 // its own fanout (would create a cycle).
-                if config.full_resim {
-                    lacs[idx]
-                        .apply(&current)
-                        .ok()
-                        .map(|aig| Some((idx, error, aig, None)))
+                let candidate = if config.full_resim {
+                    lacs[idx].apply(&current).ok().map(|aig| (aig, None))
                 } else {
                     lacs[idx]
                         .apply_with_delta(&current, &fanouts)
                         .ok()
-                        .map(|(aig, delta)| Some((idx, error, aig, Some(delta))))
+                        .map(|(aig, delta)| (aig, Some(delta)))
+                };
+                let (aig, delta) = candidate?;
+                // The SAT accept gate of the WCE-constrained mode: a
+                // sampled max can miss the worst-case input, so a
+                // candidate only passes if `distance > bound` is UNSAT.
+                if let Some(bound) = wce_bound {
+                    if !certify::wce_within(original, &aig, bound) {
+                        trace::add("cert_candidate_rejects", 1);
+                        return None; // certified over budget: try the next
+                    }
                 }
+                Some(Some((idx, error, aig, delta)))
             })
             .flatten();
         let apply_ns = apply_span.finish();
@@ -506,10 +535,29 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         )?
     };
     let measure_ns = measure_span.finish();
+    // The certificate replaces trust in sampling: exact WCE for the
+    // constrained mode, (possibly (ε, δ)-approximate) exact error rate on
+    // request. NMED/MRED have no counting-based certificate.
+    let certificate = match config.metric {
+        ErrorMetric::Wce => Some(certify::certify_wce(original, &current)),
+        ErrorMetric::ErrorRate if config.certify => Some(certify::certify_error_rate(
+            original,
+            &current,
+            derive_seed(config.seed, Stream::Hashing),
+        )),
+        _ => None,
+    };
     let wall_ns = flow_span.finish();
     if trace::is_enabled() {
         trace::emit(run_end_record(
-            run_id, iterations, applied, &current, wall_ns, measure_ns, &measured,
+            run_id,
+            iterations,
+            applied,
+            &current,
+            wall_ns,
+            measure_ns,
+            &measured,
+            certificate.as_ref(),
         ));
     }
     Ok(FlowResult {
@@ -517,6 +565,7 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         iterations,
         applied,
         measured,
+        certificate,
         history,
     })
 }
@@ -548,7 +597,10 @@ pub(crate) fn run_start_record(
 
 /// The `run_end` telemetry record. The `measured` sub-object carries the
 /// same f64s the caller gets back in [`FlowResult::measured`], so the JSONL
-/// values round-trip bit-for-bit against the in-process result.
+/// values round-trip bit-for-bit against the in-process result; the
+/// optional `certified` sub-object does the same for
+/// [`FlowResult::certificate`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_end_record(
     run: u64,
     iterations: usize,
@@ -557,8 +609,9 @@ pub(crate) fn run_end_record(
     wall_ns: u64,
     measure_ns: u64,
     measured: &Measurement,
+    certificate: Option<&CertifiedMeasurement>,
 ) -> Obj {
-    Obj::new()
+    let mut record = Obj::new()
         .str("type", "run_end")
         .u64("run", run)
         .u64("iterations", iterations as u64)
@@ -575,7 +628,23 @@ pub(crate) fn run_end_record(
                 .opt_f64("nmed", measured.nmed)
                 .opt_f64("mred", measured.mred)
                 .opt_u64("max_error_distance", measured.max_error_distance),
-        )
+        );
+    if let Some(cert) = certificate {
+        record = record.obj("certified", certified_record(cert));
+    }
+    record
+}
+
+/// The flat JSON form of a certificate, shared between the `run_end`
+/// telemetry record and `bench_cert`'s committed `BENCH_cert.json`.
+pub fn certified_record(cert: &CertifiedMeasurement) -> Obj {
+    Obj::new()
+        .str("metric", &cert.metric.to_string())
+        .f64("value", cert.value)
+        .bool("exact", cert.exact)
+        .f64("epsilon", cert.epsilon)
+        .f64("delta", cert.delta)
+        .u64("sat_queries", cert.sat_queries)
 }
 
 /// Common fields of a rejected-iteration telemetry record; the caller
@@ -703,6 +772,54 @@ mod tests {
         assert_eq!(a.approx.num_ands(), b.approx.num_ands());
         assert_eq!(a.applied, b.applied);
         assert_eq!(a.measured.error_rate, b.measured.error_rate);
+    }
+
+    #[test]
+    fn wce_flow_respects_certified_bound() {
+        let exact = alsrac_circuits::arith::ripple_carry_adder(4);
+        let bound = 3u64;
+        let config = FlowConfig {
+            metric: ErrorMetric::Wce,
+            threshold: bound as f64,
+            max_iterations: 200,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        let cert = result.certificate.expect("WCE mode always certifies");
+        assert_eq!(cert.metric, ErrorMetric::Wce);
+        assert!(cert.exact);
+        assert!(
+            cert.value <= bound as f64,
+            "certified WCE {} exceeds bound {bound}",
+            cert.value
+        );
+        // The certificate must agree with exhaustive simulation.
+        let patterns = PatternBuffer::exhaustive(exact.num_inputs());
+        let measured = measure(&exact, &result.approx, &patterns).expect("measure");
+        assert_eq!(
+            cert.value,
+            measured.max_error_distance.expect("decodable") as f64
+        );
+    }
+
+    #[test]
+    fn certify_flag_produces_exact_error_rate_certificate() {
+        let exact = alsrac_circuits::arith::kogge_stone_adder(3);
+        let config = FlowConfig {
+            metric: ErrorMetric::ErrorRate,
+            threshold: 0.10,
+            max_iterations: 150,
+            certify: true,
+            ..FlowConfig::default()
+        };
+        let result = run(&exact, &config).expect("flow");
+        let cert = result.certificate.expect("certify requested");
+        assert_eq!(cert.metric, ErrorMetric::ErrorRate);
+        assert!(cert.exact, "6 inputs: enumeration must complete");
+        // Exhaustive measurement is the ground truth at 6 inputs.
+        let patterns = PatternBuffer::exhaustive(exact.num_inputs());
+        let measured = measure(&exact, &result.approx, &patterns).expect("measure");
+        assert_eq!(cert.value, measured.error_rate);
     }
 
     #[test]

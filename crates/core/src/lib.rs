@@ -61,6 +61,7 @@
 
 pub mod baseline;
 pub mod care;
+pub mod certify;
 pub mod divisors;
 pub mod estimate;
 pub mod exact;

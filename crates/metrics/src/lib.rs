@@ -57,6 +57,10 @@ pub enum ErrorMetric {
     Nmed,
     /// Mean relative error distance.
     Mred,
+    /// Worst-case error: the maximum error distance over all inputs
+    /// (an absolute bound, not a probability — per Meng et al.'s
+    /// maximum-error-constrained ALS).
+    Wce,
 }
 
 impl fmt::Display for ErrorMetric {
@@ -65,6 +69,7 @@ impl fmt::Display for ErrorMetric {
             ErrorMetric::ErrorRate => write!(f, "ER"),
             ErrorMetric::Nmed => write!(f, "NMED"),
             ErrorMetric::Mred => write!(f, "MRED"),
+            ErrorMetric::Wce => write!(f, "WCE"),
         }
     }
 }
@@ -127,6 +132,49 @@ impl Measurement {
             ErrorMetric::ErrorRate => Some(self.error_rate),
             ErrorMetric::Nmed => self.nmed,
             ErrorMetric::Mred => self.mred,
+            ErrorMetric::Wce => self.max_error_distance.map(|d| d as f64),
+        }
+    }
+}
+
+/// A metric value carrying a *certificate*, not a statistical estimate.
+///
+/// Produced by the SAT-based certification layer (miter model counting
+/// and WCE binary search in the core crate): `value` is either exactly
+/// right (`exact`) or within a `(1+ε)` factor with probability `1−δ`.
+/// This type is plain data so that report/bench layers can consume
+/// certificates without depending on the SAT crate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertifiedMeasurement {
+    /// The certified metric.
+    pub metric: ErrorMetric,
+    /// The certified value: an error rate in `[0, 1]` for
+    /// [`ErrorMetric::ErrorRate`], an absolute maximum error distance for
+    /// [`ErrorMetric::Wce`].
+    pub value: f64,
+    /// True when `value` is exact (complete enumeration or binary
+    /// search), false for an (ε, δ) hash-counting estimate.
+    pub exact: bool,
+    /// Tolerance factor of the guarantee (0 when exact).
+    pub epsilon: f64,
+    /// Failure probability of the guarantee (0 when exact).
+    pub delta: f64,
+    /// SAT solves spent producing the certificate.
+    pub sat_queries: u64,
+}
+
+impl CertifiedMeasurement {
+    /// Whether the certified value satisfies a `<= threshold` constraint.
+    ///
+    /// For inexact certificates the `(1+ε)` factor is applied
+    /// conservatively: the reported value is inflated before comparing,
+    /// so `true` still implies the constraint holds with probability at
+    /// least `1−δ`.
+    pub fn within(&self, threshold: f64) -> bool {
+        if self.exact {
+            self.value <= threshold
+        } else {
+            self.value * (1.0 + self.epsilon) <= threshold
         }
     }
 }

@@ -45,6 +45,8 @@ pub enum Stream {
     Proposal,
     /// Circuit/workload generation.
     Generation,
+    /// XOR-hash constraints for approximate model counting.
+    Hashing,
 }
 
 impl Stream {
@@ -55,6 +57,7 @@ impl Stream {
             Stream::Measurement => 3,
             Stream::Proposal => 4,
             Stream::Generation => 5,
+            Stream::Hashing => 6,
         }
     }
 }

@@ -129,19 +129,27 @@ pub fn enable_writer(writer: Box<dyn Write + Send>) {
 }
 
 /// Enables tracing when the `ALSRAC_TRACE` environment variable names a
-/// writable path. Returns the path on success.
+/// writable path. Returns `Ok(Some(path))` on success, `Ok(None)` when the
+/// variable is unset or blank, and the creation error when the path cannot
+/// be opened — an explicitly requested trace must never be silently
+/// dropped, so binaries report that error and exit nonzero rather than
+/// running untraced. Tracing stays disabled on failure.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `ALSRAC_TRACE` is set but the file cannot be created — an
-/// explicitly requested trace must never be silently dropped.
-pub fn init_from_env() -> Option<String> {
-    let path = std::env::var("ALSRAC_TRACE").ok()?;
+/// Returns the [`io::Error`] from creating the file at `$ALSRAC_TRACE`,
+/// annotated with the offending path.
+pub fn init_from_env() -> io::Result<Option<String>> {
+    let Ok(path) = std::env::var("ALSRAC_TRACE") else {
+        return Ok(None);
+    };
     if path.trim().is_empty() {
-        return None;
+        return Ok(None);
     }
-    enable_file(&path).unwrap_or_else(|e| panic!("ALSRAC_TRACE={path}: cannot create: {e}"));
-    Some(path)
+    enable_file(&path).map_err(|e| {
+        io::Error::new(e.kind(), format!("ALSRAC_TRACE={path}: cannot create: {e}"))
+    })?;
+    Ok(Some(path))
 }
 
 /// Flushes and removes the sink, disabling tracing. Accumulated totals are
@@ -373,6 +381,31 @@ mod tests {
         disable();
         reset();
         result
+    }
+
+    #[test]
+    fn init_from_env_reports_uncreatable_paths_instead_of_panicking() {
+        let _guard = test_lock().lock().expect("test lock");
+        let saved = std::env::var("ALSRAC_TRACE").ok();
+
+        std::env::remove_var("ALSRAC_TRACE");
+        assert_eq!(init_from_env().expect("unset is fine"), None);
+        std::env::set_var("ALSRAC_TRACE", "  ");
+        assert_eq!(init_from_env().expect("blank is fine"), None);
+
+        std::env::set_var("ALSRAC_TRACE", "/nonexistent-dir/trace.jsonl");
+        let err = init_from_env().expect_err("uncreatable path must error");
+        let message = err.to_string();
+        assert!(
+            message.contains("ALSRAC_TRACE=/nonexistent-dir/trace.jsonl"),
+            "error must name the offending path: {message}"
+        );
+        assert!(!is_enabled(), "tracing must stay disabled on failure");
+
+        match saved {
+            Some(value) => std::env::set_var("ALSRAC_TRACE", value),
+            None => std::env::remove_var("ALSRAC_TRACE"),
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub fn equivalent(a: &Aig, b: &Aig) -> CecResult {
     match solver.solve() {
         SatResult::Unsat => CecResult::Equivalent,
         SatResult::Sat => {
+            // Inputs a propagation never reached (pure in the miter) are
+            // unassigned in the model; `model_value` fills them with the
+            // saved phase, and any completion of a partial model is a
+            // valid counterexample.
             CecResult::Counterexample(inputs.iter().map(|&v| solver.model_value(v)).collect())
         }
     }

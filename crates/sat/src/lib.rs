@@ -11,7 +11,12 @@
 //! * [`encode`] — Tseitin encoding of AIG cones into CNF;
 //! * [`cec`] — combinational equivalence checking via a miter
 //!   ([`cec::equivalent`]), and the SAT version of the paper's Theorem 1
-//!   feasibility check ([`cec::exact_resub_feasible`]).
+//!   feasibility check ([`cec::exact_resub_feasible`]);
+//! * [`miter`] — a reusable original-vs-approximate miter with
+//!   materialized outputs and exact worst-case-error certification
+//!   ([`miter::Miter::certify_max_distance`]);
+//! * [`count`] — exact and (ε, δ)-approximate model counting of the
+//!   differing inputs, i.e. *certified* error rates.
 //!
 //! # Example
 //!
@@ -31,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod cec;
+pub mod count;
 pub mod encode;
+pub mod miter;
 mod solver;
 
 pub use solver::{SatLit, SatResult, Solver, Var};

@@ -128,6 +128,9 @@ pub struct Solver {
     /// Set when an empty clause was added: permanently unsatisfiable.
     dead: bool,
     conflicts: u64,
+    /// Selector variables of the currently open assumption scopes
+    /// (outermost first). See [`Solver::push_scope`].
+    scopes: Vec<Var>,
 }
 
 impl Default for Solver {
@@ -153,6 +156,7 @@ impl Solver {
             activity_inc: 1.0,
             dead: false,
             conflicts: 0,
+            scopes: Vec::new(),
         }
     }
 
@@ -190,14 +194,37 @@ impl Solver {
     /// Adds a clause; returns `false` if the solver became trivially
     /// unsatisfiable (empty clause, or a unit contradicting a prior unit).
     ///
-    /// Must be called at decision level 0 (i.e. outside `solve`, which this
-    /// API guarantees).
+    /// Calling this after a `Sat` answer backtracks to decision level 0
+    /// first, which **invalidates the current model** — read the model (or
+    /// save it) before adding blocking clauses.
+    ///
+    /// While an assumption scope is open (see [`Solver::push_scope`]), the
+    /// clause is tagged with the innermost scope's selector and is
+    /// retracted when that scope is popped.
     ///
     /// # Panics
     ///
     /// Panics if a literal references an unallocated variable.
     pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
-        debug_assert!(self.trail_limits.is_empty(), "add_clause at level 0 only");
+        match self.scopes.last() {
+            // The selector literal makes the clause vacuous unless the
+            // scope's positive selector is assumed; `pop_scope` then
+            // retires it for good.
+            Some(&selector) => {
+                let mut scoped = Vec::with_capacity(lits.len() + 1);
+                scoped.extend_from_slice(lits);
+                scoped.push(selector.negative());
+                self.add_clause_raw(&scoped)
+            }
+            None => self.add_clause_raw(lits),
+        }
+    }
+
+    /// [`Solver::add_clause`] without the scope-selector augmentation.
+    fn add_clause_raw(&mut self, lits: &[SatLit]) -> bool {
+        if !self.trail_limits.is_empty() {
+            self.backtrack_to(0);
+        }
         if self.dead {
             return false;
         }
@@ -236,6 +263,49 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Opens an assumption scope: every clause added until the matching
+    /// [`Solver::pop_scope`] is active only inside the scope, while learned
+    /// clauses that do not depend on scoped clauses persist across scopes.
+    /// Returns the new scope depth.
+    ///
+    /// Implementation: the scope owns a fresh *selector* variable `s`;
+    /// scoped clauses get `!s` appended, and every solve implicitly assumes
+    /// `s` for all open scopes. Popping asserts `!s`, permanently retiring
+    /// the scope's clauses and any learned clause derived from them (such
+    /// resolvents necessarily carry `!s`, because `s` never occurs
+    /// positively in a clause). This is how repeated miter counting queries
+    /// (XOR hash constraints, blocking clauses, comparator bounds) reuse
+    /// the CDCL solver's learned state instead of re-solving from scratch.
+    ///
+    /// Scopes nest; pops must be LIFO.
+    pub fn push_scope(&mut self) -> usize {
+        self.backtrack_to(0);
+        let selector = self.new_var();
+        self.scopes.push(selector);
+        self.scopes.len()
+    }
+
+    /// Closes the innermost assumption scope, retracting every clause added
+    /// inside it. Invalidates the current model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        let selector = self.scopes.pop().expect("pop_scope without push_scope");
+        self.backtrack_to(0);
+        // `selector` is never assumed again, so clauses carrying its
+        // negation are vacuously satisfiable from here on; the unit makes
+        // that explicit so propagation skips them outright. Added raw: the
+        // retirement of an inner scope must not itself be retractable.
+        self.add_clause_raw(&[selector.negative()]);
+    }
+
+    /// Number of currently open assumption scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
     }
 
     fn enqueue(&mut self, lit: SatLit, reason: u32) {
@@ -404,8 +474,19 @@ impl Solver {
     }
 
     /// Solves under the given assumption literals. Learned clauses persist
-    /// across calls; assumptions do not.
+    /// across calls; assumptions do not. Open scopes (see
+    /// [`Solver::push_scope`]) contribute their selectors as implicit
+    /// assumptions, activating the scoped clauses.
     pub fn solve_with_assumptions(&mut self, assumptions: &[SatLit]) -> SatResult {
+        if self.scopes.is_empty() {
+            return self.solve_assuming(assumptions);
+        }
+        let mut all: Vec<SatLit> = self.scopes.iter().map(|s| s.positive()).collect();
+        all.extend_from_slice(assumptions);
+        self.solve_assuming(&all)
+    }
+
+    fn solve_assuming(&mut self, assumptions: &[SatLit]) -> SatResult {
         if self.dead {
             return SatResult::Unsat;
         }
@@ -492,15 +573,25 @@ impl Solver {
 
     /// The value of `v` in the model found by the last `Sat` answer.
     ///
-    /// # Panics
-    ///
-    /// Panics if the last call did not return [`SatResult::Sat`] (the
-    /// variable would be unassigned).
+    /// A variable can legitimately be unassigned even after `Sat` — it was
+    /// allocated after the solve, or a clause added since (e.g. a blocking
+    /// clause) backtracked the trail. Such variables take their *saved
+    /// phase* as the default polarity (`false` for a never-assigned
+    /// variable), so model queries never crash a certification run; use
+    /// [`Solver::try_model_value`] to distinguish a real model bit from the
+    /// default.
     pub fn model_value(&self, v: Var) -> bool {
+        self.try_model_value(v)
+            .unwrap_or(self.phase[v.index()] == 1)
+    }
+
+    /// The value of `v` in the current model, or `None` if `v` is
+    /// unassigned (no model, or `v` was not part of the last solve).
+    pub fn try_model_value(&self, v: Var) -> Option<bool> {
         match self.assign[v.index()] {
-            0 => false,
-            1 => true,
-            _ => panic!("variable {v:?} unassigned — no model available"),
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
         }
     }
 }
@@ -664,6 +755,115 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unassigned_variables_have_default_model_values() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Allocated after the solve: unassigned, default polarity false.
+        let b = s.new_var();
+        assert_eq!(s.try_model_value(b), None);
+        assert!(!s.model_value(b));
+        assert_eq!(s.try_model_value(a), Some(true));
+    }
+
+    #[test]
+    fn blocking_clause_after_sat_invalidates_model_without_panicking() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let lits: Vec<SatLit> = v.iter().map(|x| x.positive()).collect();
+        s.add_clause(&lits);
+        let mut models = 0;
+        loop {
+            if s.solve() == SatResult::Unsat {
+                break;
+            }
+            let bits: Vec<bool> = v.iter().map(|&x| s.model_value(x)).collect();
+            assert!(bits.iter().any(|&b| b));
+            // Block this assignment; the add backtracks the trail, after
+            // which model queries fall back to saved phases, not panics.
+            let block: Vec<SatLit> = v.iter().zip(&bits).map(|(&x, &b)| x.lit(b)).collect();
+            s.add_clause(&block);
+            let _ = s.model_value(v[0]);
+            models += 1;
+            assert!(models <= 7, "more models than assignments");
+        }
+        assert_eq!(models, 7); // 2^3 - 1 (all-false violates the clause)
+    }
+
+    #[test]
+    fn scoped_clauses_are_retracted_on_pop() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.push_scope();
+        s.add_clause(&[a.negative()]);
+        s.add_clause(&[b.negative()]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.pop_scope();
+        // The contradiction lived in the scope; the base formula is SAT.
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(a) || s.model_value(b));
+    }
+
+    #[test]
+    fn scopes_nest_and_combine_with_assumptions() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0].positive(), v[1].positive(), v[2].positive()]);
+        s.push_scope();
+        s.add_clause(&[v[0].negative()]);
+        s.push_scope();
+        s.add_clause(&[v[1].negative()]);
+        assert_eq!(s.scope_depth(), 2);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[2]));
+        assert_eq!(
+            s.solve_with_assumptions(&[v[2].negative()]),
+            SatResult::Unsat
+        );
+        s.pop_scope();
+        // v1 is free again; only the outer scope's !v0 still binds.
+        assert_eq!(s.solve_with_assumptions(&[v[2].negative()]), SatResult::Sat);
+        assert!(s.model_value(v[1]));
+        assert!(!s.model_value(v[0]));
+        s.pop_scope();
+        assert_eq!(s.scope_depth(), 0);
+        assert_eq!(
+            s.solve_with_assumptions(&[v[1].negative(), v[2].negative()]),
+            SatResult::Sat
+        );
+        assert!(s.model_value(v[0]));
+    }
+
+    #[test]
+    fn base_formula_survives_many_scope_round_trips() {
+        // Learned-state reuse smoke: the base formula stays intact (and the
+        // solver usable) across many contradictory scopes.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        for (i, &x) in v.iter().enumerate() {
+            let next = v[(i + 1) % v.len()];
+            s.add_clause(&[x.negative(), next.positive()]); // x -> next
+        }
+        for round in 0..20 {
+            s.push_scope();
+            if round % 2 == 0 {
+                s.add_clause(&[v[0].positive()]);
+                s.add_clause(&[v[2].negative()]); // contradicts the implication cycle
+                assert_eq!(s.solve(), SatResult::Unsat, "round {round}");
+            } else {
+                s.add_clause(&[v[0].positive()]);
+                assert_eq!(s.solve(), SatResult::Sat, "round {round}");
+                assert!(v.iter().all(|&x| s.model_value(x)), "cycle forces all");
+            }
+            s.pop_scope();
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
     }
 
     #[test]

@@ -25,6 +25,14 @@
 #           flow on every bundled Test-scale circuit with windowing on and
 #           off and asserts the results bit-identical with live window
 #           counters; also runs the scale-circuit generator self-checks
+#   cert-smoke
+#           certification gate: `bench_cert --smoke` certifies the exact
+#           error rate of every bundled circuit's optimized output (the
+#           binary asserts agreement with an independent Monte-Carlo
+#           sample within the Wilson bound) and the WCE-constrained flow's
+#           certified bound; the artifact is validated by `report --cert`
+#           and must be bit-identical between ALSRAC_THREADS=1 and 3 apart
+#           from the recorded "threads" field
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -114,6 +122,32 @@ run_window_smoke() {
     echo "window-smoke gate passed."
 }
 
+run_cert_smoke() {
+    # Self-contained like the smoke step: build the binaries if invoked alone.
+    cargo build --release --offline -p alsrac-bench --bin bench_cert --bin report
+
+    echo "==> certification gate (Wilson agreement + thread determinism)"
+    cert_t1="$(mktemp -t alsrac_bench_cert1_XXXXXX.json)"
+    cert_t3="$(mktemp -t alsrac_bench_cert3_XXXXXX.json)"
+    # `all` runs the earlier steps first; keep their temp files in the trap.
+    trap 'rm -f "$cert_t1" "$cert_t3" "${window_json:-}" "${bench_json:-}" "${smoke_trace:-}"' EXIT
+    # bench_cert --smoke asserts: every certified error rate agrees with an
+    # independent sampled estimate within the Wilson interval, and every
+    # WCE-constrained flow result is certified at or below its bound.
+    ALSRAC_THREADS=1 target/release/bench_cert --smoke "$cert_t1"
+    ALSRAC_THREADS=3 target/release/bench_cert --smoke "$cert_t3"
+    target/release/report --cert "$cert_t1"
+    # Certification is SAT-backed and sampling is block-seeded, so the
+    # artifact must not depend on the worker count — only the recorded
+    # "threads" field itself may differ.
+    if ! diff <(sed 's/"threads":[0-9]*/"threads":0/' "$cert_t1") \
+        <(sed 's/"threads":[0-9]*/"threads":0/' "$cert_t3"); then
+        echo "cert-smoke: artifact differs between 1 and 3 threads" >&2
+        exit 1
+    fi
+    echo "cert-smoke gate passed."
+}
+
 case "$step" in
 fmt) run_fmt ;;
 clippy) run_clippy ;;
@@ -122,6 +156,7 @@ test) run_test ;;
 smoke) run_smoke ;;
 bench-smoke) run_bench_smoke ;;
 window-smoke) run_window_smoke ;;
+cert-smoke) run_cert_smoke ;;
 all)
     run_fmt
     run_clippy
@@ -130,9 +165,10 @@ all)
     run_smoke
     run_bench_smoke
     run_window_smoke
+    run_cert_smoke
     ;;
 *)
-    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|all)" >&2
+    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|cert-smoke|all)" >&2
     exit 2
     ;;
 esac

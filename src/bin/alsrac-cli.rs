@@ -39,8 +39,9 @@ usage: alsrac-cli [options]
   --input FILE        input circuit (.blif, .aag, .aig)
   --bench NAME        use a generated benchmark (e.g. rca32, voter) instead
   --output FILE       write the approximate circuit (.blif, .aag, .aig)
-  --metric er|nmed|mred   error metric (default er)
-  --threshold X       error budget (default 0.01)
+  --metric er|nmed|mred|wce   error metric (default er)
+  --threshold X       error budget (default 0.01; an absolute maximum
+                      error distance when --metric wce)
   --method alsrac|su|liu  synthesis method (default alsrac)
   --map lut6|cells    also report mapped cost
   --seed N            RNG seed (default 1)
@@ -71,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
                     "er" => ErrorMetric::ErrorRate,
                     "nmed" => ErrorMetric::Nmed,
                     "mred" => ErrorMetric::Mred,
+                    "wce" => ErrorMetric::Wce,
                     other => return Err(format!("unknown metric {other}")),
                 }
             }
@@ -146,7 +148,7 @@ fn main() -> ExitCode {
 }
 
 fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
-    if let Some(path) = alsrac_suite::rt::trace::init_from_env() {
+    if let Some(path) = alsrac_suite::rt::trace::init_from_env()? {
         eprintln!("tracing to {path} (ALSRAC_TRACE)");
     }
     let exact = load(args)?;
@@ -205,6 +207,24 @@ fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
             .mred
             .map_or("n/a".to_string(), |v| format!("{v:.8}")),
     );
+
+    if let Some(cert) = &result.certificate {
+        println!(
+            "certified: {} = {} ({}, {} SAT queries)",
+            cert.metric,
+            cert.value,
+            if cert.exact {
+                "exact".to_string()
+            } else {
+                format!(
+                    "within {:.0}% w.p. {:.0}%",
+                    cert.epsilon * 100.0,
+                    (1.0 - cert.delta) * 100.0
+                )
+            },
+            cert.sat_queries,
+        );
+    }
 
     match args.map.as_deref() {
         Some("lut6") => {
