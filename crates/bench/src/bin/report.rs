@@ -102,6 +102,10 @@ const KNOWN_COUNTERS: &[&str] = &[
     "cert_sat_queries",
     "cert_wce_searches",
     "cert_candidate_rejects",
+    "cert_degraded",
+    "flow_interrupts",
+    "checkpoints_written",
+    "faults_injected",
 ];
 
 /// The record types a trace may contain, with their required fields (see
@@ -214,6 +218,23 @@ fn validate_record(rec: &Json) -> Result<(), String> {
                     .ok_or("run_end: \"certified\" is not an object")?;
                 validate_certified(cert).map_err(|e| format!("run_end: certified.{e}"))?;
             }
+            // Optional outcome (absent in pre-budget traces = completed).
+            if let Some(outcome) = rec.get("outcome") {
+                match outcome.as_str() {
+                    Some("completed") => {}
+                    Some("interrupted") => {
+                        need_str("interrupt_reason")?;
+                    }
+                    Some(other) => {
+                        return Err(format!("run_end: unknown outcome {other:?}"));
+                    }
+                    None => return Err("run_end: \"outcome\" is not a string".to_string()),
+                }
+            }
+            if let Some(v) = rec.get("resumed_from") {
+                v.as_u64()
+                    .ok_or("run_end: \"resumed_from\" is not an integer")?;
+            }
         }
         "totals" => {
             let spans = rec
@@ -274,10 +295,27 @@ fn validate_certified(cert: &BTreeMap<String, Json>) -> Result<(), String> {
     let delta = get("delta")
         .and_then(Json::as_f64)
         .ok_or("delta missing or not a number")?;
+    // Optional status (absent in pre-budget artifacts = certified). A
+    // degraded certificate carries no (ε, δ) guarantee at all — its value
+    // is the sampled measurement — so the exactness cross-checks below
+    // only apply to certified ones.
+    let degraded = match get("status").and_then(Json::as_str) {
+        None | Some("certified") => false,
+        Some("degraded") => {
+            get("status_reason")
+                .and_then(Json::as_str)
+                .ok_or("degraded certificate has no status_reason")?;
+            if exact {
+                return Err("degraded certificate cannot claim exactness".to_string());
+            }
+            true
+        }
+        Some(other) => return Err(format!("unknown status {other:?}")),
+    };
     if exact && (epsilon != 0.0 || delta != 0.0) {
         return Err("exact certificate must have epsilon = delta = 0".to_string());
     }
-    if !exact && (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) {
+    if !exact && !degraded && (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) {
         return Err(format!(
             "approximate certificate needs epsilon > 0, delta in (0,1); got ({epsilon}, {delta})"
         ));
@@ -286,6 +324,11 @@ fn validate_certified(cert: &BTreeMap<String, Json>) -> Result<(), String> {
         .and_then(Json::as_u64)
         .ok_or("sat_queries missing or not an integer")?;
     Ok(())
+}
+
+/// Whether a `certified` object is a degraded (budget-starved) one.
+fn is_degraded(cert: &BTreeMap<String, Json>) -> bool {
+    cert.get("status").and_then(Json::as_str) == Some("degraded")
 }
 
 /// Reads a trace file, parsing and schema-validating every line. Each
@@ -345,6 +388,14 @@ struct RunDigest {
     error_rate: Option<f64>,
     /// Accepted-iteration estimated errors, in order.
     trajectory: Vec<f64>,
+    /// `run_end.outcome` (absent in pre-budget traces = completed).
+    outcome: Option<String>,
+    /// Why the run was interrupted, when it was.
+    interrupt_reason: Option<String>,
+    /// Checkpoint iteration this run resumed from, when it did.
+    resumed_from: Option<u64>,
+    /// Whether the run's certificate was degraded by budget exhaustion.
+    degraded_cert: bool,
 }
 
 fn analyze(path: &str, summary_path: &str) -> ExitCode {
@@ -401,6 +452,19 @@ fn try_analyze(path: &str, summary_path: &str) -> Result<ExitCode, String> {
                     .get("measured")
                     .and_then(|m| m.get("error_rate"))
                     .and_then(Json::as_f64);
+                digest.outcome = rec
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                digest.interrupt_reason = rec
+                    .get("interrupt_reason")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                digest.resumed_from = rec.get("resumed_from").and_then(Json::as_u64);
+                digest.degraded_cert = rec
+                    .get("certified")
+                    .and_then(Json::as_obj)
+                    .is_some_and(is_degraded);
             }
             "totals" => {
                 if let Some(cs) = rec.get("counters").and_then(Json::as_obj) {
@@ -444,8 +508,21 @@ fn try_analyze(path: &str, summary_path: &str) -> Result<ExitCode, String> {
             }
             _ => "no accepted iterations".to_string(),
         };
+        let mut notes = String::new();
+        if let Some(from) = d.resumed_from {
+            notes.push_str(&format!("; resumed from iteration {from}"));
+        }
+        if d.outcome.as_deref() == Some("interrupted") {
+            notes.push_str(&format!(
+                "; INTERRUPTED ({})",
+                d.interrupt_reason.as_deref().unwrap_or("unknown reason")
+            ));
+        }
+        if d.degraded_cert {
+            notes.push_str("; degraded certificate");
+        }
         println!(
-            "  run {id}: {} {} ands {} -> {} ({} iters, {} applied, {}), {}; measured ER {}",
+            "  run {id}: {} {} ands {} -> {} ({} iters, {} applied, {}), {}; measured ER {}{notes}",
             d.flow,
             d.circuit,
             d.start_ands,
@@ -458,6 +535,18 @@ fn try_analyze(path: &str, summary_path: &str) -> Result<ExitCode, String> {
                 .map_or("n/a".to_string(), |e| format!("{e:.6}")),
         );
     }
+    let interrupted = runs
+        .values()
+        .filter(|d| d.outcome.as_deref() == Some("interrupted"))
+        .count();
+    let resumed = runs.values().filter(|d| d.resumed_from.is_some()).count();
+    let degraded = runs.values().filter(|d| d.degraded_cert).count();
+    if interrupted + resumed + degraded > 0 {
+        println!(
+            "\nbudgets: {interrupted} interrupted run(s), {resumed} resumed run(s), \
+             {degraded} degraded certificate(s)"
+        );
+    }
 
     let mut run_arr = Arr::new();
     for (id, d) in &runs {
@@ -465,19 +554,30 @@ fn try_analyze(path: &str, summary_path: &str) -> Result<ExitCode, String> {
         for &e in &d.trajectory {
             traj = traj.f64(e);
         }
-        run_arr = run_arr.obj(
-            Obj::new()
-                .u64("run", *id)
-                .str("flow", &d.flow)
-                .str("circuit", &d.circuit)
-                .u64("start_ands", d.start_ands)
-                .u64("end_ands", d.end_ands)
-                .u64("iterations", d.iterations)
-                .u64("applied", d.applied)
-                .u64("wall_ns", d.wall_ns)
-                .opt_f64("error_rate", d.error_rate)
-                .arr("est_error_trajectory", traj),
-        );
+        let mut run_obj = Obj::new()
+            .u64("run", *id)
+            .str("flow", &d.flow)
+            .str("circuit", &d.circuit)
+            .u64("start_ands", d.start_ands)
+            .u64("end_ands", d.end_ands)
+            .u64("iterations", d.iterations)
+            .u64("applied", d.applied)
+            .u64("wall_ns", d.wall_ns)
+            .opt_f64("error_rate", d.error_rate)
+            .arr("est_error_trajectory", traj);
+        if let Some(outcome) = &d.outcome {
+            run_obj = run_obj.str("outcome", outcome);
+        }
+        if let Some(reason) = &d.interrupt_reason {
+            run_obj = run_obj.str("interrupt_reason", reason);
+        }
+        if let Some(from) = d.resumed_from {
+            run_obj = run_obj.u64("resumed_from", from);
+        }
+        if d.degraded_cert {
+            run_obj = run_obj.bool("degraded_certificate", true);
+        }
+        run_arr = run_arr.obj(run_obj);
     }
     let mut phases_obj = Obj::new();
     for (name, &ns) in &phase_ns {
@@ -490,6 +590,9 @@ fn try_analyze(path: &str, summary_path: &str) -> Result<ExitCode, String> {
     let summary = Obj::new()
         .str("trace", path)
         .u64("records", records.len() as u64)
+        .u64("interrupted_runs", interrupted as u64)
+        .u64("resumed_runs", resumed as u64)
+        .u64("degraded_certificates", degraded as u64)
         .obj("phase_ns", phases_obj)
         .obj("counters", counters_obj)
         .arr("runs", run_arr)
@@ -794,8 +897,14 @@ fn try_cert_check(path: &str) -> Result<(), String> {
         if cert.get("metric").and_then(Json::as_str) != Some("WCE") {
             return Err(within("certified.metric must be \"WCE\"".into()));
         }
+        if is_degraded(cert) {
+            // A budget-starved certificate's value is the sampled
+            // measurement, not a proven maximum — none of the exactness
+            // cross-checks below apply.
+            continue;
+        }
         if cert.get("exact").and_then(Json::as_bool) != Some(true) {
-            return Err(within("WCE certificates must be exact".into()));
+            return Err(within("non-degraded WCE certificates must be exact".into()));
         }
         let value = cert.get("value").and_then(Json::as_f64).expect("validated");
         if value > bound as f64 {
@@ -969,6 +1078,74 @@ mod tests {
 "sampled_max_distance":3,"within_bound":true,
 "certified":{{"metric":"WCE","value":3,"exact":true,"epsilon":0,"delta":0,"sat_queries":7}}}}]}}"#
         )
+    }
+
+    /// A minimal schema-complete run_end record with extra fields spliced
+    /// in before the closing brace.
+    fn run_end_with(extra: &str) -> String {
+        format!(
+            r#"{{"type":"run_end","run":1,"iterations":5,"applied":2,"ands":30,"depth":9,
+"wall_ns":1000,"phase_ns":{{}},
+"measured":{{"num_patterns":4096,"error_rate":0.01,"nmed":null,"mred":null,"max_error_distance":null}}{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn interrupted_run_end_records_validate() {
+        let rec = run_end_with(r#","outcome":"interrupted","interrupt_reason":"cancelled""#);
+        validate_record(&Json::parse(&rec).unwrap()).expect("interrupted run_end must validate");
+        let rec = run_end_with(r#","outcome":"completed","resumed_from":3"#);
+        validate_record(&Json::parse(&rec).unwrap()).expect("resumed run_end must validate");
+    }
+
+    #[test]
+    fn interrupted_run_end_needs_a_reason() {
+        let rec = run_end_with(r#","outcome":"interrupted""#);
+        let err = validate_record(&Json::parse(&rec).unwrap()).expect_err("reason required");
+        assert!(err.contains("interrupt_reason"), "wrong diagnostic: {err}");
+        let rec = run_end_with(r#","outcome":"gave_up""#);
+        let err = validate_record(&Json::parse(&rec).unwrap()).expect_err("unknown outcome");
+        assert!(err.contains("gave_up"), "wrong diagnostic: {err}");
+    }
+
+    #[test]
+    fn degraded_certificates_validate_without_epsilon_delta() {
+        let cert = r#"{"metric":"WCE","value":3,"exact":false,"epsilon":0,"delta":0,
+"sat_queries":7,"status":"degraded","status_reason":"SAT budget exhausted"}"#;
+        let cert = Json::parse(cert).unwrap();
+        validate_certified(cert.as_obj().unwrap()).expect("degraded cert must validate");
+        assert!(is_degraded(cert.as_obj().unwrap()));
+    }
+
+    #[test]
+    fn degraded_certificates_need_a_reason_and_cannot_be_exact() {
+        let no_reason = r#"{"metric":"ER","value":0.1,"exact":false,"epsilon":0,"delta":0,
+"sat_queries":1,"status":"degraded"}"#;
+        let err = validate_certified(Json::parse(no_reason).unwrap().as_obj().unwrap())
+            .expect_err("reason required");
+        assert!(err.contains("status_reason"), "wrong diagnostic: {err}");
+        let exact = r#"{"metric":"ER","value":0.1,"exact":true,"epsilon":0,"delta":0,
+"sat_queries":1,"status":"degraded","status_reason":"budget"}"#;
+        let err = validate_certified(Json::parse(exact).unwrap().as_obj().unwrap())
+            .expect_err("exact degraded must fail");
+        assert!(err.contains("exactness"), "wrong diagnostic: {err}");
+    }
+
+    #[test]
+    fn degraded_wce_cert_entries_skip_the_exactness_gate() {
+        // Same artifact as cert_artifact but the WCE certificate is
+        // degraded and its value exceeds the bound — allowed, because a
+        // degraded value is a sampled measurement, not a proven maximum.
+        let artifact = r#"{"benchmark":"cert","threads":1,"seed":1,
+"er":[{"circuit":"rca32","inputs":12,"outputs":7,"ands_before":49,"ands_after":40,
+"applied":2,"sampled_errors":100,"sampled_patterns":1000,"agreement":true,
+"certified":{"metric":"ER","value":0.1,"exact":true,"epsilon":0,"delta":0,"sat_queries":3}}],
+"wce":[{"circuit":"rca32","bound":4,"ands_before":49,"ands_after":40,"applied":2,
+"sampled_max_distance":6,"within_bound":false,
+"certified":{"metric":"WCE","value":6,"exact":false,"epsilon":0,"delta":0,"sat_queries":7,
+"status":"degraded","status_reason":"SAT budget exhausted during WCE binary search"}}]}"#;
+        let t = TempTrace::write("cert_degraded", artifact);
+        try_cert_check(&t.0).expect("degraded WCE entry must validate");
     }
 
     #[test]

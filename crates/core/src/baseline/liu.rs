@@ -263,6 +263,8 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
             measure_ns,
             &measured,
             None,
+            &crate::flow::FlowOutcome::Completed,
+            None,
         ));
     }
     Ok(FlowResult {
@@ -272,6 +274,8 @@ pub fn run(original: &Aig, config: &LiuConfig) -> Result<FlowResult, FlowError> 
         measured,
         certificate: None,
         history,
+        outcome: crate::flow::FlowOutcome::Completed,
+        checkpoint: None,
     })
 }
 

@@ -339,7 +339,16 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
     let wall_ns = flow_span.finish();
     if trace::is_enabled() {
         trace::emit(run_end_record(
-            run_id, iterations, applied, &current, wall_ns, measure_ns, &measured, None,
+            run_id,
+            iterations,
+            applied,
+            &current,
+            wall_ns,
+            measure_ns,
+            &measured,
+            None,
+            &crate::flow::FlowOutcome::Completed,
+            None,
         ));
     }
     Ok(FlowResult {
@@ -349,6 +358,8 @@ pub fn run(original: &Aig, config: &SuConfig) -> Result<FlowResult, FlowError> {
         measured,
         certificate: None,
         history,
+        outcome: crate::flow::FlowOutcome::Completed,
+        checkpoint: None,
     })
 }
 

@@ -10,19 +10,30 @@
 //! comparator clauses. Both return an
 //! [`alsrac_metrics::CertifiedMeasurement`].
 //!
-//! [`wce_within`] is the accept-side gate of the WCE-constrained flow: a
-//! single `distance > bound` SAT query replacing the sampled estimate in
-//! the acceptance decision.
+//! [`wce_within`] / [`wce_gate`] are the accept-side gate of the
+//! WCE-constrained flow: a single `distance > bound` SAT query replacing
+//! the sampled estimate in the acceptance decision.
+//!
+//! **Budgets and degradation.** Every entry point has a `_budgeted`
+//! variant threading an [`alsrac_rt::budget::Budget`] into the solver.
+//! When a SAT cap cuts a query short the certificate comes back with
+//! [`CertStatus::Degraded`] (deterministic — caps count solver events,
+//! so the same run always degrades the same way); when the budget's
+//! cancel token or deadline interrupts, the gate reports
+//! [`WceGate::Interrupted`] and the flow aborts the iteration without
+//! letting the nondeterministic answer steer any decision.
 //!
 //! Telemetry: `cert_miters_built`, `cert_sat_queries`,
-//! `cert_wce_searches`, and `cert_candidate_rejects` counters plus a
-//! `certify` span, all inert when tracing is disabled.
+//! `cert_wce_searches`, `cert_candidate_rejects`, and `cert_degraded`
+//! counters plus a `certify` span, all inert when tracing is disabled.
 
 use alsrac_aig::Aig;
-use alsrac_metrics::{CertifiedMeasurement, ErrorMetric};
+use alsrac_metrics::{CertStatus, CertifiedMeasurement, ErrorMetric};
+use alsrac_rt::budget::Budget;
 use alsrac_rt::trace;
 use alsrac_sat::count;
 use alsrac_sat::miter::Miter;
+use alsrac_sat::SatResult;
 
 /// Certifies the error rate of `approx` against `original` by model
 /// counting over the miter inputs.
@@ -37,11 +48,41 @@ use alsrac_sat::miter::Miter;
 ///
 /// Panics if the circuits disagree in input or output counts.
 pub fn certify_error_rate(original: &Aig, approx: &Aig, seed: u64) -> CertifiedMeasurement {
+    certify_error_rate_budgeted(original, approx, seed, &Budget::unlimited())
+}
+
+/// [`certify_error_rate`] under a [`Budget`]: the miter solver runs with
+/// the budget's SAT caps, cancel token, and deadline attached.
+///
+/// When any of those cuts the model count short, the certificate comes
+/// back with [`CertStatus::Degraded`] and `exact == false`: its `value`
+/// is a *proven lower bound* on the error rate (the differing inputs
+/// enumerated before the cut), not a guarantee. Callers on the
+/// certified path should fall back to their sampled measurement.
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in input or output counts.
+pub fn certify_error_rate_budgeted(
+    original: &Aig,
+    approx: &Aig,
+    seed: u64,
+    budget: &Budget,
+) -> CertifiedMeasurement {
     let span = trace::span("certify");
     let mut miter = Miter::new(original, approx);
+    miter.solver.set_budget(budget.clone());
     trace::add("cert_miters_built", 1);
     let counted = count::count_errors(&mut miter, seed);
     trace::add("cert_sat_queries", counted.sat_queries);
+    let status = if counted.complete {
+        CertStatus::Certified
+    } else {
+        trace::add("cert_degraded", 1);
+        CertStatus::Degraded {
+            reason: "SAT budget exhausted during error-rate model counting".to_string(),
+        }
+    };
     span.finish();
     CertifiedMeasurement {
         metric: ErrorMetric::ErrorRate,
@@ -50,6 +91,7 @@ pub fn certify_error_rate(original: &Aig, approx: &Aig, seed: u64) -> CertifiedM
         epsilon: counted.epsilon,
         delta: counted.delta,
         sat_queries: counted.sat_queries,
+        status,
     }
 }
 
@@ -61,37 +103,111 @@ pub fn certify_error_rate(original: &Aig, approx: &Aig, seed: u64) -> CertifiedM
 /// Panics if the circuits disagree in arity or have more than 63 outputs
 /// (error distances are undecodable, as in `alsrac-metrics`).
 pub fn certify_wce(original: &Aig, approx: &Aig) -> CertifiedMeasurement {
+    certify_wce_budgeted(original, approx, &Budget::unlimited())
+}
+
+/// [`certify_wce`] under a [`Budget`]: the miter solver runs with the
+/// budget's SAT caps, cancel token, and deadline attached.
+///
+/// When the binary search is cut short the certificate comes back with
+/// [`CertStatus::Degraded`] and `exact == false`: its `value` is still a
+/// *sound upper bound* on the maximum error distance (every `Unsat`
+/// answer that tightened the bound is a hard fact), just not proven
+/// tight.
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in arity or have more than 63 outputs.
+pub fn certify_wce_budgeted(original: &Aig, approx: &Aig, budget: &Budget) -> CertifiedMeasurement {
     let span = trace::span("certify");
     let mut miter = Miter::new(original, approx);
+    miter.solver.set_budget(budget.clone());
     trace::add("cert_miters_built", 1);
     let cert = miter.certify_max_distance();
     trace::add("cert_sat_queries", cert.queries);
     trace::add("cert_wce_searches", 1);
+    let status = if cert.complete {
+        CertStatus::Certified
+    } else {
+        trace::add("cert_degraded", 1);
+        CertStatus::Degraded {
+            reason: "SAT budget exhausted during WCE binary search".to_string(),
+        }
+    };
     span.finish();
     CertifiedMeasurement {
         metric: ErrorMetric::Wce,
         value: cert.max_distance as f64,
-        exact: true,
+        exact: cert.complete,
         epsilon: 0.0,
         delta: 0.0,
         sat_queries: cert.queries,
+        status,
     }
+}
+
+/// Outcome of the budgeted WCE accept gate ([`wce_gate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WceGate {
+    /// Proven: max error distance ≤ bound. Safe to accept.
+    Within,
+    /// Proven: some input exceeds the bound. Must reject.
+    Exceeds,
+    /// A SAT cap cut the query short. Deterministic (caps count solver
+    /// events), so the flow may fall back to its sampled estimate
+    /// without breaking reproducibility — the certificate is degraded.
+    Degraded,
+    /// The budget's cancel token or deadline fired mid-query. This is
+    /// wall-clock nondeterminism: the answer must not steer any
+    /// decision, so the flow aborts the iteration instead.
+    Interrupted,
+}
+
+/// The budgeted WCE accept gate: is the maximum error distance of
+/// `approx` against `original` at most `bound`, certified by a single
+/// `distance > bound` SAT query under `budget`?
+///
+/// An `Unknown` solver answer is classified [`WceGate::Interrupted`]
+/// when the budget's cancel token or deadline has fired (nondeterministic
+/// cut — the caller must abort, not decide) and [`WceGate::Degraded`]
+/// otherwise (a deterministic SAT cap — the caller may fall back to its
+/// sampled estimate).
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in arity or have more than 63 outputs.
+pub fn wce_gate(original: &Aig, approx: &Aig, bound: u64, budget: &Budget) -> WceGate {
+    let span = trace::span("certify");
+    let mut miter = Miter::new(original, approx);
+    miter.solver.set_budget(budget.clone());
+    trace::add("cert_miters_built", 1);
+    trace::add("cert_sat_queries", 1);
+    let gate = match miter.distance_exceeds(bound) {
+        SatResult::Unsat => WceGate::Within,
+        SatResult::Sat => WceGate::Exceeds,
+        SatResult::Unknown => {
+            if budget.interrupted().is_some() {
+                WceGate::Interrupted
+            } else {
+                trace::add("cert_degraded", 1);
+                WceGate::Degraded
+            }
+        }
+    };
+    span.finish();
+    gate
 }
 
 /// The WCE accept gate: is the maximum error distance of `approx` against
 /// `original` at most `bound`, certified by a single SAT query?
 ///
+/// Unlimited-budget form of [`wce_gate`]; never degrades.
+///
 /// # Panics
 ///
 /// Panics if the circuits disagree in arity or have more than 63 outputs.
 pub fn wce_within(original: &Aig, approx: &Aig, bound: u64) -> bool {
-    let span = trace::span("certify");
-    let mut miter = Miter::new(original, approx);
-    trace::add("cert_miters_built", 1);
-    trace::add("cert_sat_queries", 1);
-    let within = miter.distance_exceeds(bound) == alsrac_sat::SatResult::Unsat;
-    span.finish();
-    within
+    wce_gate(original, approx, bound, &Budget::unlimited()) == WceGate::Within
 }
 
 #[cfg(test)]
@@ -201,6 +317,74 @@ mod tests {
         let wce = certify_wce(&a, &a.clone());
         assert_eq!(wce.value, 0.0);
         assert!(wce_within(&a, &a.clone(), 0));
+    }
+
+    #[test]
+    fn budget_starved_certificates_degrade_instead_of_hanging() {
+        // Propagation cap 0 makes every solver query answer Unknown
+        // deterministically: both certifiers must come back Degraded
+        // with sound (lower/upper bound) values, never panic or hang.
+        let original = alsrac_circuits::arith::ripple_carry_adder(3);
+        let approx = corrupted(&original, 0);
+        let starved = Budget::unlimited().with_sat_propagations(0);
+
+        let er = certify_error_rate_budgeted(&original, &approx, 7, &starved);
+        assert!(!er.status.is_certified(), "{:?}", er.status);
+        assert!(!er.exact);
+        let full = certify_error_rate(&original, &approx, 7);
+        assert!(full.status.is_certified());
+        assert!(
+            er.value <= full.value,
+            "degraded rate must be a lower bound"
+        );
+
+        let wce = certify_wce_budgeted(&original, &approx, &starved);
+        assert!(!wce.status.is_certified(), "{:?}", wce.status);
+        assert!(!wce.exact);
+        let full_wce = certify_wce(&original, &approx);
+        assert!(full_wce.status.is_certified());
+        assert!(full_wce.exact);
+        assert!(
+            wce.value >= full_wce.value,
+            "degraded WCE must stay a sound upper bound"
+        );
+    }
+
+    #[test]
+    fn wce_gate_classifies_unknown_by_interrupt_kind() {
+        let original = alsrac_circuits::arith::ripple_carry_adder(3);
+        let approx = corrupted(&original, 0);
+        let bound = certify_wce(&original, &approx).value as u64;
+
+        // Unlimited budget: hard answers on both sides of the bound.
+        let unlimited = Budget::unlimited();
+        assert_eq!(
+            wce_gate(&original, &approx, bound, &unlimited),
+            WceGate::Within
+        );
+        assert!(bound > 0, "corruption inert");
+        assert_eq!(
+            wce_gate(&original, &approx, bound - 1, &unlimited),
+            WceGate::Exceeds
+        );
+
+        // Deterministic SAT cap: Unknown classifies as Degraded.
+        let starved = Budget::unlimited().with_sat_propagations(0);
+        assert_eq!(
+            wce_gate(&original, &approx, bound - 1, &starved),
+            WceGate::Degraded
+        );
+
+        // Tripped cancel token: Unknown classifies as Interrupted.
+        let token = alsrac_rt::budget::CancelToken::new();
+        token.trip();
+        let cancelled = Budget::unlimited()
+            .with_cancel(token)
+            .with_sat_propagations(0);
+        assert_eq!(
+            wce_gate(&original, &approx, bound - 1, &cancelled),
+            WceGate::Interrupted
+        );
     }
 
     #[test]

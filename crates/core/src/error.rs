@@ -28,6 +28,12 @@ pub enum FlowError {
         /// Why it is invalid.
         reason: String,
     },
+    /// A checkpoint could not be parsed, failed validation, or does not
+    /// belong to the (circuit, config) pair it was resumed with.
+    Checkpoint {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -44,6 +50,9 @@ impl fmt::Display for FlowError {
             }
             FlowError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration for {parameter}: {reason}")
+            }
+            FlowError::Checkpoint { reason } => {
+                write!(f, "invalid checkpoint: {reason}")
             }
         }
     }

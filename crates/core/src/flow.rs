@@ -2,11 +2,13 @@
 
 use alsrac_aig::Aig;
 use alsrac_metrics::{measure, measure_auto, CertifiedMeasurement, ErrorMetric, Measurement};
+use alsrac_rt::budget::{Budget, Interrupt};
 use alsrac_rt::json::Obj;
 use alsrac_rt::{derive_indexed, derive_seed, trace, Stream};
 use alsrac_sim::{PatternBuffer, Simulation};
 
-use crate::certify;
+use crate::certify::{self, WceGate};
+use crate::checkpoint::Checkpoint;
 use crate::estimate::Estimator;
 use crate::lac::{generate_lacs_with, LacConfig};
 use crate::window::WindowConfig;
@@ -70,6 +72,17 @@ pub struct FlowConfig {
     /// distance-mean metrics NMED/MRED, which model counting does not
     /// cover.
     pub certify: bool,
+    /// Execution budget: cooperative cancellation, a wall-clock deadline,
+    /// and SAT caps. Checked at iteration boundaries and threaded into
+    /// every certification solver. Cancellation and deadline expiry
+    /// interrupt the run ([`FlowOutcome::Interrupted`], with a
+    /// [`Checkpoint`] to resume from); SAT caps instead *degrade* —
+    /// certificates come back with
+    /// [`alsrac_metrics::CertStatus::Degraded`] and the WCE accept gate
+    /// falls back to the sampled estimate — because caps count
+    /// deterministic solver events and therefore keep runs reproducible.
+    /// Defaults to unlimited (no behaviour change).
+    pub budget: Budget,
     /// LAC generation options (divisor selection etc.).
     pub lac: LacConfig,
     /// Window-local resubstitution options. Enabled by default; window
@@ -100,6 +113,7 @@ impl Default for FlowConfig {
             optimize_period: 1,
             full_resim: false,
             certify: false,
+            budget: Budget::unlimited(),
             lac: LacConfig::default(),
             window: WindowConfig::default(),
         }
@@ -170,6 +184,28 @@ pub struct IterationRecord {
     pub rounds: usize,
 }
 
+/// How an ALSRAC run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// The loop ran to its natural end (threshold saturated, candidates
+    /// exhausted, or the iteration cap).
+    Completed,
+    /// The budget's cancel token or deadline fired. The result still
+    /// carries the best-so-far circuit with a real measurement, plus a
+    /// [`Checkpoint`] that [`resume`] continues bit-identically.
+    Interrupted {
+        /// What fired ([`Interrupt`]'s `Display` form).
+        reason: String,
+    },
+}
+
+impl FlowOutcome {
+    /// Returns `true` for [`FlowOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, FlowOutcome::Completed)
+    }
+}
+
 /// The result of an ALSRAC run.
 #[derive(Clone, Debug)]
 pub struct FlowResult {
@@ -181,13 +217,22 @@ pub struct FlowResult {
     pub applied: usize,
     /// Final accuracy measurement against the original circuit.
     pub measured: Measurement,
-    /// SAT certificate of the final error: always present for
-    /// [`ErrorMetric::Wce`] (exact maximum error distance), present for
+    /// SAT certificate of the final error: present for
+    /// [`ErrorMetric::Wce`] (exact maximum error distance when the
+    /// certificate's status is `Certified`), present for
     /// [`ErrorMetric::ErrorRate`] when [`FlowConfig::certify`] is set,
-    /// absent otherwise.
+    /// absent otherwise and on interrupted runs (an exhausted budget has
+    /// no headroom for certification; the sampled `measured` stands in).
+    /// A `Degraded` certificate's `value` is the sampled measurement —
+    /// the SAT budget ran out before the proof finished.
     pub certificate: Option<CertifiedMeasurement>,
     /// Per-accepted-iteration trace.
     pub history: Vec<IterationRecord>,
+    /// Whether the run completed or was interrupted by its budget.
+    pub outcome: FlowOutcome,
+    /// Resume state, present exactly when `outcome` is
+    /// [`FlowOutcome::Interrupted`].
+    pub checkpoint: Option<Checkpoint>,
 }
 
 /// Runs ALSRAC on `original` (Algorithm 3).
@@ -207,6 +252,72 @@ pub struct FlowResult {
 /// * [`FlowError::MetricUnavailable`] when a distance metric is requested
 ///   on a circuit with more than 63 outputs.
 pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError> {
+    preflight(original, config)?;
+    run_from(original, config, None)
+}
+
+/// Continues an interrupted run from its [`Checkpoint`].
+///
+/// Because every random decision of the flow is a pure function of
+/// `(seed, stream, iteration)`, a resumed run replays the remaining
+/// iterations exactly as the uninterrupted run would have executed them:
+/// the final [`FlowResult`] is bit-identical (circuit structure, history
+/// floats, measurement) to a never-interrupted run of the same config —
+/// at any worker-thread count.
+///
+/// # Errors
+///
+/// All of [`run`]'s errors, plus [`FlowError::Checkpoint`] when the
+/// checkpoint does not belong to this `(original, config)` pair (seed,
+/// metric, or threshold mismatch; arity mismatch; iteration count beyond
+/// the config's cap).
+pub fn resume(
+    original: &Aig,
+    config: &FlowConfig,
+    checkpoint: Checkpoint,
+) -> Result<FlowResult, FlowError> {
+    preflight(original, config)?;
+    let mismatch = |reason: String| Err(FlowError::Checkpoint { reason });
+    if checkpoint.seed != config.seed {
+        return mismatch(format!(
+            "seed mismatch: checkpoint {}, config {}",
+            checkpoint.seed, config.seed
+        ));
+    }
+    if checkpoint.metric != config.metric {
+        return mismatch(format!(
+            "metric mismatch: checkpoint {}, config {}",
+            checkpoint.metric, config.metric
+        ));
+    }
+    if checkpoint.threshold.to_bits() != config.threshold.to_bits() {
+        return mismatch(format!(
+            "threshold mismatch: checkpoint {}, config {}",
+            checkpoint.threshold, config.threshold
+        ));
+    }
+    if checkpoint.iterations > config.max_iterations {
+        return mismatch(format!(
+            "checkpoint is {} iterations in, config caps at {}",
+            checkpoint.iterations, config.max_iterations
+        ));
+    }
+    if checkpoint.current.num_inputs() != original.num_inputs()
+        || checkpoint.current.num_outputs() != original.num_outputs()
+    {
+        return mismatch(format!(
+            "arity mismatch: checkpoint circuit is {}x{}, original is {}x{}",
+            checkpoint.current.num_inputs(),
+            checkpoint.current.num_outputs(),
+            original.num_inputs(),
+            original.num_outputs()
+        ));
+    }
+    run_from(original, config, Some(checkpoint))
+}
+
+/// Shared validation of [`run`] and [`resume`].
+fn preflight(original: &Aig, config: &FlowConfig) -> Result<(), FlowError> {
     config.validate()?;
     if original.num_inputs() == 0 || original.num_outputs() == 0 {
         return Err(FlowError::DegenerateCircuit {
@@ -223,7 +334,16 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             ),
         });
     }
+    Ok(())
+}
 
+/// The loop body shared by [`run`] (fresh state) and [`resume`]
+/// (checkpointed state).
+fn run_from(
+    original: &Aig,
+    config: &FlowConfig,
+    checkpoint: Option<Checkpoint>,
+) -> Result<FlowResult, FlowError> {
     // Telemetry: every record of this run is stamped with a process-unique
     // id so concurrently running flows (pool workers in the table
     // binaries) stay separable in the shared JSONL sink. All span/record
@@ -241,15 +361,40 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         ));
     }
 
-    let mut current = original.cleaned();
-    let mut rounds = config.initial_rounds;
-    let mut empty_streak = 0usize;
-    let mut over_streak = 0usize;
-    let mut stuck_streak = 0usize;
+    // Fresh state or the checkpointed loop state. The carried estimation
+    // simulation is deliberately NOT part of a checkpoint: the incremental
+    // engine is exact, so rebuilding it from scratch below is
+    // bit-identical to the state the interrupted run carried.
+    let resumed_from = checkpoint.as_ref().map(|cp| cp.iterations as u64);
+    let (mut current, mut rounds, mut empty_streak, mut over_streak, mut stuck_streak);
+    let (mut applied, mut history, mut iterations);
+    match checkpoint {
+        Some(cp) => {
+            current = cp.current;
+            rounds = cp.rounds;
+            empty_streak = cp.empty_streak;
+            over_streak = cp.over_streak;
+            stuck_streak = cp.stuck_streak;
+            applied = cp.applied;
+            history = cp.history;
+            iterations = cp.iterations;
+        }
+        None => {
+            current = original.cleaned();
+            rounds = config.initial_rounds;
+            empty_streak = 0;
+            over_streak = 0;
+            stuck_streak = 0;
+            applied = 0;
+            history = Vec::new();
+            iterations = 0;
+        }
+    }
     let max_rounds = config.initial_rounds * 4;
-    let mut applied = 0usize;
-    let mut history = Vec::new();
-    let mut iterations = 0usize;
+    // Set when the budget's cancel token or deadline fires: the loop
+    // stops, the partial iteration (if any) is rolled back, and the run
+    // returns best-so-far with a checkpoint instead of an error.
+    let mut interrupt: Option<Interrupt> = None;
 
     let draw = |n: usize, rounds: usize, seed: u64| -> PatternBuffer {
         match &config.input_bias {
@@ -289,6 +434,12 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         (config.metric == ErrorMetric::Wce).then(|| config.threshold.min(u64::MAX as f64) as u64);
 
     while iterations < config.max_iterations {
+        // Iteration-granular interrupt point: the cheapest place to stop,
+        // with nothing to roll back.
+        if let Some(cause) = config.budget.interrupted() {
+            interrupt = Some(cause);
+            break;
+        }
         iterations += 1;
         // Fresh care patterns every iteration (Algorithm 3 line 3): the
         // care simulation is always a full sweep — new patterns mean no
@@ -311,6 +462,17 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             &config.window,
         );
         let lac_ns = lac_span.finish();
+        // Window-granular interrupt point: care simulation + windowed LAC
+        // generation dominate an iteration's wall clock, so checking right
+        // after them bounds interrupt latency without instrumenting inner
+        // loops. The half-done iteration is rolled back — its patterns are
+        // a pure function of the iteration index, so the resumed run
+        // redoes it bit-identically.
+        if let Some(cause) = config.budget.interrupted() {
+            iterations -= 1;
+            interrupt = Some(cause);
+            break;
+        }
 
         if lacs.is_empty() {
             if trace::is_enabled() {
@@ -368,12 +530,20 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         };
         let est_ns = est_span.finish();
         let apply_span = trace::span("apply");
+        // Set when the WCE accept gate is interrupted mid-query: the
+        // solver's answer is wall-clock-nondeterministic, so it must not
+        // influence the accept decision — the iteration is rolled back
+        // below instead.
+        let mut gate_interrupt: Option<Interrupt> = None;
         let choice = ranked
             .iter()
             .find_map(|&(idx, m)| {
-                let error = m
-                    .value(config.metric)
-                    .expect("metric availability checked up front");
+                // `ranked_candidates` returned Some, which it only does
+                // when the metric is evaluable on this circuit (the arity
+                // preflight guarantees it); a per-candidate None here is
+                // impossible, but skipping the candidate is strictly safer
+                // than panicking mid-flow.
+                let error = m.value(config.metric)?;
                 if error > config.threshold {
                     return Some(None); // best remaining over budget
                 }
@@ -398,15 +568,39 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
                 // sampled max can miss the worst-case input, so a
                 // candidate only passes if `distance > bound` is UNSAT.
                 if let Some(bound) = wce_bound {
-                    if !certify::wce_within(original, &aig, bound) {
-                        trace::add("cert_candidate_rejects", 1);
-                        return None; // certified over budget: try the next
+                    match certify::wce_gate(original, &aig, bound, &config.budget) {
+                        WceGate::Within => {}
+                        WceGate::Exceeds => {
+                            trace::add("cert_candidate_rejects", 1);
+                            return None; // certified over budget: try the next
+                        }
+                        // A deterministic SAT cap cut the proof short:
+                        // degrade to the sampled-measurement path. The
+                        // sampled `error` already passed the threshold
+                        // check above, so accept on it — same decision on
+                        // every machine, just without the SAT guarantee
+                        // (the final certificate records the degradation).
+                        WceGate::Degraded => {}
+                        // Nondeterministic cut (cancel/deadline): stop
+                        // scanning without letting the answer steer the
+                        // accept decision.
+                        WceGate::Interrupted => {
+                            gate_interrupt = config.budget.interrupted();
+                            return Some(None);
+                        }
                     }
                 }
                 Some(Some((idx, error, aig, delta)))
             })
             .flatten();
         let apply_ns = apply_span.finish();
+        if let Some(cause) = gate_interrupt {
+            // Same rollback as the post-lac-gen interrupt point: the
+            // resumed run redoes this iteration from its own patterns.
+            iterations -= 1;
+            interrupt = Some(cause);
+            break;
+        }
         let Some((best_idx, best_error, applied_aig, delta)) = choice else {
             // Nothing applied: `current` is unchanged, so its estimation
             // simulation is still valid for the next iteration.
@@ -505,10 +699,34 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         }
     }
 
+    // On interruption, snapshot the loop state *before* any further
+    // transformation: the checkpoint must be exactly what the next loop
+    // iteration would have seen.
+    let checkpoint_out = interrupt.as_ref().map(|_| {
+        trace::add("flow_interrupts", 1);
+        trace::add("checkpoints_written", 1);
+        Checkpoint {
+            seed: config.seed,
+            metric: config.metric,
+            threshold: config.threshold,
+            iterations,
+            applied,
+            rounds,
+            empty_streak,
+            over_streak,
+            stuck_streak,
+            history: history.clone(),
+            current: current.clone(),
+        }
+    });
+
     // Final optimize only when some accepted LACs are still unoptimized:
     // an untouched circuit (applied == 0) or a loop that ended exactly on
-    // an optimize_period boundary has nothing left to clean up.
-    if config.optimize_after_apply
+    // an optimize_period boundary has nothing left to clean up. Skipped on
+    // interruption — hand back promptly; the resumed run optimizes at its
+    // own natural end.
+    if interrupt.is_none()
+        && config.optimize_after_apply
         && applied > 0
         && !applied.is_multiple_of(config.optimize_period.max(1))
     {
@@ -537,15 +755,42 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
     let measure_ns = measure_span.finish();
     // The certificate replaces trust in sampling: exact WCE for the
     // constrained mode, (possibly (ε, δ)-approximate) exact error rate on
-    // request. NMED/MRED have no counting-based certificate.
-    let certificate = match config.metric {
-        ErrorMetric::Wce => Some(certify::certify_wce(original, &current)),
-        ErrorMetric::ErrorRate if config.certify => Some(certify::certify_error_rate(
-            original,
-            &current,
-            derive_seed(config.seed, Stream::Hashing),
-        )),
-        _ => None,
+    // request. NMED/MRED have no counting-based certificate. Interrupted
+    // runs skip certification entirely — the budget that fired would cut
+    // every query short anyway — and runs whose SAT caps starve the proof
+    // get a `Degraded` certificate whose value degrades to the sampled
+    // measurement.
+    let certificate = if interrupt.is_some() {
+        None
+    } else {
+        match config.metric {
+            ErrorMetric::Wce => Some(certify::certify_wce_budgeted(
+                original,
+                &current,
+                &config.budget,
+            )),
+            ErrorMetric::ErrorRate if config.certify => Some(certify::certify_error_rate_budgeted(
+                original,
+                &current,
+                derive_seed(config.seed, Stream::Hashing),
+                &config.budget,
+            )),
+            _ => None,
+        }
+    };
+    let certificate = certificate.map(|mut cert| {
+        if !cert.status.is_certified() {
+            if let Some(sampled) = measured.value(config.metric) {
+                cert.value = sampled;
+            }
+        }
+        cert
+    });
+    let outcome = match &interrupt {
+        Some(cause) => FlowOutcome::Interrupted {
+            reason: cause.to_string(),
+        },
+        None => FlowOutcome::Completed,
     };
     let wall_ns = flow_span.finish();
     if trace::is_enabled() {
@@ -558,6 +803,8 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
             measure_ns,
             &measured,
             certificate.as_ref(),
+            &outcome,
+            resumed_from,
         ));
     }
     Ok(FlowResult {
@@ -567,6 +814,8 @@ pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
         measured,
         certificate,
         history,
+        outcome,
+        checkpoint: checkpoint_out,
     })
 }
 
@@ -599,7 +848,9 @@ pub(crate) fn run_start_record(
 /// same f64s the caller gets back in [`FlowResult::measured`], so the JSONL
 /// values round-trip bit-for-bit against the in-process result; the
 /// optional `certified` sub-object does the same for
-/// [`FlowResult::certificate`].
+/// [`FlowResult::certificate`]. Interrupted runs additionally carry
+/// `outcome: "interrupted"` and an `interrupt_reason`; resumed runs carry
+/// `resumed_from` (the checkpoint's iteration count).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_end_record(
     run: u64,
@@ -610,6 +861,8 @@ pub(crate) fn run_end_record(
     measure_ns: u64,
     measured: &Measurement,
     certificate: Option<&CertifiedMeasurement>,
+    outcome: &FlowOutcome,
+    resumed_from: Option<u64>,
 ) -> Obj {
     let mut record = Obj::new()
         .str("type", "run_end")
@@ -629,6 +882,17 @@ pub(crate) fn run_end_record(
                 .opt_f64("mred", measured.mred)
                 .opt_u64("max_error_distance", measured.max_error_distance),
         );
+    match outcome {
+        FlowOutcome::Completed => record = record.str("outcome", "completed"),
+        FlowOutcome::Interrupted { reason } => {
+            record = record
+                .str("outcome", "interrupted")
+                .str("interrupt_reason", reason);
+        }
+    }
+    if let Some(at) = resumed_from {
+        record = record.u64("resumed_from", at);
+    }
     if let Some(cert) = certificate {
         record = record.obj("certified", certified_record(cert));
     }
@@ -637,14 +901,23 @@ pub(crate) fn run_end_record(
 
 /// The flat JSON form of a certificate, shared between the `run_end`
 /// telemetry record and `bench_cert`'s committed `BENCH_cert.json`.
+/// Degraded certificates (SAT budget ran out mid-proof) carry
+/// `status: "degraded"` plus the reason; certified ones carry
+/// `status: "certified"`.
 pub fn certified_record(cert: &CertifiedMeasurement) -> Obj {
-    Obj::new()
+    let record = Obj::new()
         .str("metric", &cert.metric.to_string())
         .f64("value", cert.value)
         .bool("exact", cert.exact)
         .f64("epsilon", cert.epsilon)
         .f64("delta", cert.delta)
-        .u64("sat_queries", cert.sat_queries)
+        .u64("sat_queries", cert.sat_queries);
+    match &cert.status {
+        alsrac_metrics::CertStatus::Certified => record.str("status", "certified"),
+        alsrac_metrics::CertStatus::Degraded { reason } => record
+            .str("status", "degraded")
+            .str("status_reason", reason),
+    }
 }
 
 /// Common fields of a rejected-iteration telemetry record; the caller

@@ -29,7 +29,10 @@
 //! * [`window`] — bounded-window configuration and the signature-class
 //!   feasibility pre-screen for window-local resubstitution;
 //! * [`flow`] — the complete ALSRAC loop (Algorithm 3) with dynamic
-//!   simulation-round control;
+//!   simulation-round control, budget-aware interruption, and
+//!   checkpoint/resume;
+//! * [`checkpoint`] — the serialized loop state an interrupted run leaves
+//!   behind and a resumed run restarts from, bit-identically;
 //! * [`baseline`] — reimplementations of the paper's comparison methods:
 //!   Su's SASIMI-style substitute-and-simplify and Liu's stochastic ALS;
 //! * [`exact`] — zero-error SAT-based resubstitution (the [14]/[18]
@@ -62,6 +65,7 @@
 pub mod baseline;
 pub mod care;
 pub mod certify;
+pub mod checkpoint;
 pub mod divisors;
 pub mod estimate;
 pub mod exact;

@@ -137,13 +137,41 @@ impl Measurement {
     }
 }
 
+/// Whether a certificate's value actually carries its guarantee.
+///
+/// The certification layer runs under a resource budget; when the budget
+/// runs out mid-certificate the flow degrades gracefully instead of
+/// hanging: the certificate is reported with [`CertStatus::Degraded`] and
+/// its `value` falls back to the sampled measurement, which carries **no**
+/// SAT guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertStatus {
+    /// The certificate holds as stated (exact or (ε, δ)-guaranteed).
+    Certified,
+    /// The certification budget ran out before the guarantee was
+    /// established; the value is the sampled measurement.
+    Degraded {
+        /// Human-readable cause (e.g. "SAT budget exhausted").
+        reason: String,
+    },
+}
+
+impl CertStatus {
+    /// Whether this is [`CertStatus::Certified`].
+    pub fn is_certified(&self) -> bool {
+        matches!(self, CertStatus::Certified)
+    }
+}
+
 /// A metric value carrying a *certificate*, not a statistical estimate.
 ///
 /// Produced by the SAT-based certification layer (miter model counting
 /// and WCE binary search in the core crate): `value` is either exactly
-/// right (`exact`) or within a `(1+ε)` factor with probability `1−δ`.
-/// This type is plain data so that report/bench layers can consume
-/// certificates without depending on the SAT crate.
+/// right (`exact`) or within a `(1+ε)` factor with probability `1−δ` —
+/// unless `status` is [`CertStatus::Degraded`], in which case the
+/// certification budget ran out and `value` is only the sampled
+/// measurement. This type is plain data so that report/bench layers can
+/// consume certificates without depending on the SAT crate.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CertifiedMeasurement {
     /// The certified metric.
@@ -161,6 +189,10 @@ pub struct CertifiedMeasurement {
     pub delta: f64,
     /// SAT solves spent producing the certificate.
     pub sat_queries: u64,
+    /// Whether the guarantee was actually established
+    /// ([`CertStatus::Certified`]) or the budget ran out
+    /// ([`CertStatus::Degraded`]).
+    pub status: CertStatus,
 }
 
 impl CertifiedMeasurement {
@@ -169,7 +201,9 @@ impl CertifiedMeasurement {
     /// For inexact certificates the `(1+ε)` factor is applied
     /// conservatively: the reported value is inflated before comparing,
     /// so `true` still implies the constraint holds with probability at
-    /// least `1−δ`.
+    /// least `1−δ`. For a [`CertStatus::Degraded`] certificate the same
+    /// comparison runs, but the answer carries no SAT guarantee — callers
+    /// that need one must check [`Self::status`] first.
     pub fn within(&self, threshold: f64) -> bool {
         if self.exact {
             self.value <= threshold

@@ -29,6 +29,12 @@
 //!   env knob, compiling down to one atomic load when disabled.
 //! * [`json`] — the zero-dependency JSON builder/parser the trace layer
 //!   (and its report tooling) speaks; finite `f64`s round-trip bit-exactly.
+//! * [`budget`] — resource governance: cooperative [`budget::CancelToken`],
+//!   wall-clock [`budget::Deadline`], and composable [`budget::Budget`]
+//!   carrying deterministic SAT conflict/propagation caps.
+//! * [`faults`] — a deterministic fault-injection harness (seeded through
+//!   [`Stream::Faults`]) that fires cancellations, SAT-budget exhaustion,
+//!   or sink I/O failures at exact trace-span ordinals.
 //!
 //! # Example
 //!
@@ -49,7 +55,9 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod budget;
 pub mod check;
+pub mod faults;
 pub mod json;
 pub mod pool;
 mod rng;

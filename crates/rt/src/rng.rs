@@ -47,6 +47,8 @@ pub enum Stream {
     Generation,
     /// XOR-hash constraints for approximate model counting.
     Hashing,
+    /// Deterministic fault-injection points (robustness test harness).
+    Faults,
 }
 
 impl Stream {
@@ -58,6 +60,7 @@ impl Stream {
             Stream::Proposal => 4,
             Stream::Generation => 5,
             Stream::Hashing => 6,
+            Stream::Faults => 7,
         }
     }
 }

@@ -204,6 +204,10 @@ struct ActiveSpan {
 /// Opens a span named `name`. Inert (no clock read, no allocation) when
 /// tracing is disabled.
 pub fn span(name: &'static str) -> Span {
+    // Fault-injection hook: span opens are the deterministic coordinate
+    // system the robustness harness injects at. One relaxed load when no
+    // plan is armed, so the disabled-path cost guarantee holds.
+    crate::faults::on_span();
     if !is_enabled() {
         return Span { active: None };
     }

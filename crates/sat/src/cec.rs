@@ -58,6 +58,9 @@ pub fn equivalent(a: &Aig, b: &Aig) -> CecResult {
         return CecResult::Equivalent; // no outputs: vacuously equivalent
     }
     match solver.solve() {
+        // CEC builds its own unbudgeted solver, which never answers
+        // Unknown (see `Solver::set_budget`).
+        SatResult::Unknown => unreachable!("unbudgeted solver answered Unknown"),
         SatResult::Unsat => CecResult::Equivalent,
         SatResult::Sat => {
             // Inputs a propagation never reached (pure in the miter) are

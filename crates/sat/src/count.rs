@@ -53,6 +53,10 @@ pub struct ErrorCount {
     pub delta: f64,
     /// Total SAT solves issued while counting.
     pub sat_queries: u64,
+    /// False when a solver budget cut counting short
+    /// ([`SatResult::Unknown`]): `count` is then only a proven **lower
+    /// bound** with no (ε, δ) guarantee, and `exact` is false.
+    pub complete: bool,
 }
 
 impl ErrorCount {
@@ -82,14 +86,15 @@ pub fn count_errors(miter: &mut Miter, seed: u64) -> ErrorCount {
 /// difference sets.
 pub fn count_errors_exact(miter: &mut Miter) -> ErrorCount {
     let mut queries = 0u64;
-    let count = enumerate(miter, u128::MAX, &mut queries);
+    let (count, complete) = enumerate(miter, u128::MAX, &mut queries);
     ErrorCount {
         num_inputs: miter.inputs().len() as u32,
         count,
-        exact: true,
+        exact: complete,
         epsilon: 0.0,
         delta: 0.0,
         sat_queries: queries,
+        complete,
     }
 }
 
@@ -113,7 +118,10 @@ pub fn count_errors_approx(miter: &mut Miter, epsilon: f64, delta: f64, seed: u6
 
     // One bounded enumeration first: counts <= pivot need no hashing and
     // come out exact (this is also ApproxMC's base case).
-    let low = enumerate(miter, pivot, &mut queries);
+    let (low, low_complete) = enumerate(miter, pivot, &mut queries);
+    if !low_complete {
+        return incomplete_count(n, low, queries);
+    }
     if low <= pivot {
         return ErrorCount {
             num_inputs: n,
@@ -122,6 +130,7 @@ pub fn count_errors_approx(miter: &mut Miter, epsilon: f64, delta: f64, seed: u6
             epsilon: 0.0,
             delta: 0.0,
             sat_queries: queries,
+            complete: true,
         };
     }
 
@@ -140,12 +149,18 @@ pub fn count_errors_approx(miter: &mut Miter, epsilon: f64, delta: f64, seed: u6
                     feasible = false;
                 }
             }
-            let cell = if feasible {
+            let (cell, cell_complete) = if feasible {
                 enumerate(miter, pivot, &mut queries)
             } else {
-                0 // an empty-support XOR with odd parity: cell is empty
+                (0, true) // an empty-support XOR with odd parity: cell is empty
             };
             miter.solver.pop_scope();
+            if !cell_complete {
+                // A budget-starved cell count would bias the median; stop
+                // and report the sound lower bound instead of a wrong
+                // estimate.
+                return incomplete_count(n, low.min(pivot + 1), queries);
+            }
             if cell <= pivot {
                 if cell > 0 {
                     estimates.push(cell << m);
@@ -158,7 +173,10 @@ pub fn count_errors_approx(miter: &mut Miter, epsilon: f64, delta: f64, seed: u6
     if estimates.is_empty() {
         // Every round over-hashed (vanishingly unlikely at these sizes):
         // fall back to full enumeration rather than guess.
-        let count = enumerate(miter, u128::MAX, &mut queries);
+        let (count, complete) = enumerate(miter, u128::MAX, &mut queries);
+        if !complete {
+            return incomplete_count(n, count, queries);
+        }
         return ErrorCount {
             num_inputs: n,
             count,
@@ -166,6 +184,7 @@ pub fn count_errors_approx(miter: &mut Miter, epsilon: f64, delta: f64, seed: u6
             epsilon: 0.0,
             delta: 0.0,
             sat_queries: queries,
+            complete: true,
         };
     }
     estimates.sort_unstable();
@@ -176,20 +195,44 @@ pub fn count_errors_approx(miter: &mut Miter, epsilon: f64, delta: f64, seed: u6
         epsilon,
         delta,
         sat_queries: queries,
+        complete: true,
+    }
+}
+
+/// An [`ErrorCount`] for a budget-interrupted count: `count` is only a
+/// lower bound, carries no guarantee, and is flagged incomplete.
+fn incomplete_count(num_inputs: u32, count: u128, sat_queries: u64) -> ErrorCount {
+    ErrorCount {
+        num_inputs,
+        count,
+        exact: false,
+        epsilon: 0.0,
+        delta: 0.0,
+        sat_queries,
+        complete: false,
     }
 }
 
 /// Enumerates differing input assignments under the currently open scopes,
 /// blocking each one, until UNSAT or the count exceeds `cap` (then returns
 /// `cap + 1`). Runs in its own scope so the blocking clauses retract.
-fn enumerate(miter: &mut Miter, cap: u128, queries: &mut u64) -> u128 {
+///
+/// The second return value is false when a budgeted solve answered
+/// [`SatResult::Unknown`]: the count is then only a lower bound (the
+/// models enumerated so far), never a silently wrong total.
+fn enumerate(miter: &mut Miter, cap: u128, queries: &mut u64) -> (u128, bool) {
     miter.solver.push_scope();
     let differs = miter.differs();
     let mut count = 0u128;
+    let mut complete = true;
     loop {
         *queries += 1;
         match miter.solver.solve_with_assumptions(&[differs]) {
             SatResult::Unsat => break,
+            SatResult::Unknown => {
+                complete = false;
+                break;
+            }
             SatResult::Sat => {
                 // Read the witness before add_clause invalidates the model.
                 let bits = miter.model_inputs();
@@ -208,7 +251,7 @@ fn enumerate(miter: &mut Miter, cap: u128, queries: &mut u64) -> u128 {
         }
     }
     miter.solver.pop_scope();
-    count
+    (count, complete)
 }
 
 /// Adds one random XOR parity constraint over `inputs` to the innermost
@@ -337,5 +380,47 @@ mod tests {
         let a = count_errors_approx(&mut m1, 0.5, 0.2, 9);
         let b = count_errors_approx(&mut m2, 0.5, 0.2, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_starved_count_is_flagged_incomplete_not_wrong() {
+        use alsrac_rt::budget::Budget;
+        let (original, approx) = broken_adder(3);
+        let want = brute_count(&original, &approx);
+        assert!(want > 0);
+        let mut miter = Miter::new(&original, &approx);
+        // A zero-propagation cap makes every solve answer Unknown: the
+        // enumeration sees no models at all. The hazard this pins down is
+        // a starved count masquerading as "exactly 0 errors".
+        miter
+            .solver
+            .set_budget(Budget::default().with_sat_propagations(0));
+        let starved = count_errors_exact(&mut miter);
+        assert!(!starved.complete, "Unknown must be promoted");
+        assert!(
+            !starved.exact,
+            "an incomplete count must not claim exactness"
+        );
+        assert!(starved.count <= want, "count must stay a lower bound");
+        assert_eq!(miter.solver.scope_depth(), 0, "scopes stay balanced");
+        // Clearing the budget restores full service on the same miter.
+        miter.solver.clear_budget();
+        let full = count_errors_exact(&mut miter);
+        assert!(full.complete && full.exact);
+        assert_eq!(full.count, want);
+    }
+
+    #[test]
+    fn budget_starved_approximate_count_is_flagged_incomplete() {
+        use alsrac_rt::budget::Budget;
+        let (original, approx) = broken_adder(3);
+        let mut miter = Miter::new(&original, &approx);
+        miter
+            .solver
+            .set_budget(Budget::default().with_sat_propagations(0));
+        let got = count_errors_approx(&mut miter, 0.8, 0.2, 1);
+        assert!(!got.complete);
+        assert!(!got.exact);
+        assert_eq!(miter.solver.scope_depth(), 0);
     }
 }

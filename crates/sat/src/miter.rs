@@ -146,7 +146,9 @@ impl Miter {
     /// Encodes a `> t` comparator inside a fresh solver scope (retracted
     /// before returning), so repeated queries reuse learned clauses. On
     /// `Sat`, [`Self::model_distance`] / [`Self::model_inputs`] expose a
-    /// witness.
+    /// witness. A budgeted solver (see [`Solver::set_budget`]) may answer
+    /// [`SatResult::Unknown`]; the scope is still popped and the miter
+    /// stays usable.
     ///
     /// # Panics
     ///
@@ -165,7 +167,7 @@ impl Miter {
         // Read the witness *before* popping: the pop backtracks the trail.
         let witness = match result {
             SatResult::Sat => Some((self.model_distance(), self.model_inputs())),
-            SatResult::Unsat => None,
+            SatResult::Unsat | SatResult::Unknown => None,
         };
         self.solver.pop_scope();
         self.last_witness = witness;
@@ -176,6 +178,12 @@ impl Miter {
     /// [`Self::distance_exceeds`]. Every `Sat` answer tightens the lower
     /// bound to the *witnessed* distance, so the search typically needs
     /// far fewer than `width` queries.
+    ///
+    /// With a budgeted solver the search can be cut short by an `Unknown`
+    /// answer; it then stops and reports an **incomplete** certificate.
+    /// The interval it carries is still sound: `max_distance` is a proven
+    /// upper bound (from `Unsat` answers or the trivial `2^width − 1`) and
+    /// `lower_bound` a witnessed, achievable distance.
     ///
     /// # Panics
     ///
@@ -191,6 +199,7 @@ impl Miter {
         }; // invariant: max distance <= hi
         let mut queries = 0u64;
         let mut witness = None;
+        let mut complete = true;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             queries += 1;
@@ -205,10 +214,16 @@ impl Miter {
                     witness = Some(inputs);
                 }
                 SatResult::Unsat => hi = mid,
+                SatResult::Unknown => {
+                    complete = false;
+                    break;
+                }
             }
         }
         WceCertificate {
-            max_distance: lo,
+            max_distance: hi,
+            lower_bound: lo.min(hi),
+            complete,
             queries,
             witness,
         }
@@ -218,11 +233,19 @@ impl Miter {
 /// Result of a WCE certification run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WceCertificate {
-    /// The exact maximum error distance over all inputs.
+    /// The maximum error distance over all inputs: exact when
+    /// [`Self::complete`], otherwise a proven upper bound.
     pub max_distance: u64,
+    /// A witnessed, achievable distance (equals [`Self::max_distance`]
+    /// when the search completed).
+    pub lower_bound: u64,
+    /// Whether the binary search ran to completion. `false` only when a
+    /// solver budget cut a query short ([`SatResult::Unknown`]).
+    pub complete: bool,
     /// Number of `distance > t` SAT queries the binary search issued.
     pub queries: u64,
-    /// An input assignment achieving `max_distance` (None iff it is 0).
+    /// An input assignment achieving [`Self::lower_bound`] (None iff it
+    /// is 0).
     pub witness: Option<Vec<bool>>,
 }
 
@@ -374,6 +397,46 @@ mod tests {
         let witness = cert.witness.expect("nonzero distance has a witness");
         let d = eval_u64(&original, &witness).abs_diff(eval_u64(&approx, &witness));
         assert_eq!(d, want, "witness must achieve the maximum");
+    }
+
+    #[test]
+    fn complete_certificates_have_matching_bounds() {
+        let original = alsrac_circuits::arith::ripple_carry_adder(3);
+        let mut approx = original.clone();
+        approx.set_output_lit(0, Lit::FALSE);
+        let mut miter = Miter::new(&original, &approx);
+        let cert = miter.certify_max_distance();
+        assert!(cert.complete);
+        assert_eq!(cert.lower_bound, cert.max_distance);
+    }
+
+    #[test]
+    fn budget_starved_wce_search_reports_a_sound_interval() {
+        use alsrac_rt::budget::Budget;
+        let original = alsrac_circuits::arith::ripple_carry_adder(3);
+        let mut approx = original.clone();
+        let last = approx.num_outputs() - 1;
+        approx.set_output_lit(last, Lit::FALSE);
+        let mut reference = Miter::new(&original, &approx);
+        let exact = reference.certify_max_distance();
+        assert!(exact.complete);
+
+        let mut miter = Miter::new(&original, &approx);
+        // Every query answers Unknown: the search must stop immediately
+        // with the trivial-but-sound interval, not loop or lie.
+        miter
+            .solver
+            .set_budget(Budget::default().with_sat_propagations(0));
+        let cert = miter.certify_max_distance();
+        assert!(!cert.complete);
+        assert!(cert.lower_bound <= exact.max_distance);
+        assert!(cert.max_distance >= exact.max_distance, "upper bound sound");
+        assert_eq!(miter.solver.scope_depth(), 0);
+        // Clearing the budget, the same miter finishes the job.
+        miter.solver.clear_budget();
+        let again = miter.certify_max_distance();
+        assert!(again.complete);
+        assert_eq!(again.max_distance, exact.max_distance);
     }
 
     #[test]

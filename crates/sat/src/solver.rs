@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use alsrac_rt::budget::{Budget, CancelToken};
+
 /// A propositional variable.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(u32);
@@ -96,6 +98,12 @@ pub enum SatResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The attached [`Budget`] ran out (conflict/propagation cap, deadline,
+    /// or cancellation) before an answer was found. The solver backtracks
+    /// to level 0 and stays fully reusable: learned clauses are kept and
+    /// scopes still pop. Only budgeted solvers (see [`Solver::set_budget`])
+    /// can return this.
+    Unknown,
 }
 
 const UNASSIGNED: u8 = 2;
@@ -131,6 +139,13 @@ pub struct Solver {
     /// Selector variables of the currently open assumption scopes
     /// (outermost first). See [`Solver::push_scope`].
     scopes: Vec<Var>,
+    /// Resource budget applied per solve call; `None` = unbudgeted (never
+    /// answers [`SatResult::Unknown`]).
+    budget: Option<Budget>,
+    /// Conflicts spent by the most recent solve call.
+    last_conflicts: u64,
+    /// Trail literals propagated by the most recent solve call.
+    last_propagations: u64,
 }
 
 impl Default for Solver {
@@ -157,7 +172,38 @@ impl Solver {
             dead: false,
             conflicts: 0,
             scopes: Vec::new(),
+            budget: None,
+            last_conflicts: 0,
+            last_propagations: 0,
         }
+    }
+
+    /// Attaches a resource [`Budget`] applied to every subsequent solve
+    /// call. A budgeted call that exhausts a SAT cap, passes the deadline,
+    /// or observes a tripped cancel token returns [`SatResult::Unknown`]
+    /// instead of running on; the caps are *per call* (each solve starts
+    /// its counters at zero). An unlimited budget still opts the solver
+    /// into fault-injected exhaustion
+    /// ([`alsrac_rt::faults::sat_budget_exhausted`]).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = Some(budget);
+    }
+
+    /// Removes any attached budget; the solver never answers `Unknown`
+    /// again.
+    pub fn clear_budget(&mut self) {
+        self.budget = None;
+    }
+
+    /// Conflicts spent by the most recent solve call. A call that returned
+    /// [`SatResult::Unknown`] on the conflict cap reads exactly the cap.
+    pub fn last_conflicts(&self) -> u64 {
+        self.last_conflicts
+    }
+
+    /// Trail literals propagated by the most recent solve call.
+    pub fn last_propagations(&self) -> u64 {
+        self.last_propagations
     }
 
     /// Allocates a fresh variable.
@@ -323,6 +369,7 @@ impl Solver {
         while self.propagate_head < self.trail.len() {
             let lit = self.trail[self.propagate_head];
             self.propagate_head += 1;
+            self.last_propagations += 1;
             let false_lit = !lit; // literals watching `!lit` may now be false
             let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
             let mut i = 0;
@@ -487,8 +534,22 @@ impl Solver {
     }
 
     fn solve_assuming(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.last_conflicts = 0;
+        self.last_propagations = 0;
         if self.dead {
+            // Permanent unsatisfiability is a hard fact; no budget needed.
             return SatResult::Unsat;
+        }
+        // Budget state for this call. The Arc-backed clone is cheap and
+        // frees `self` for the mutating solve loop below.
+        let budget = self.budget.clone();
+        let limits = budget.as_ref().map(|b| b.sat).unwrap_or_default();
+        let cancel = budget.as_ref().and_then(|b| b.cancel_token().cloned());
+        if let Some(b) = &budget {
+            if b.interrupted().is_some() || alsrac_rt::faults::sat_budget_exhausted() {
+                self.backtrack_to(0);
+                return SatResult::Unknown;
+            }
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
@@ -522,7 +583,26 @@ impl Solver {
             }
 
             if let Some(conflict) = self.propagate() {
+                if budget.is_some() {
+                    // Give up *before* processing the conflict that would
+                    // pass the cap, so an `Unknown` answer always reads
+                    // `last_conflicts() == cap` exactly.
+                    let capped = limits
+                        .max_conflicts
+                        .is_some_and(|cap| self.last_conflicts >= cap);
+                    // The cancel flag is one relaxed load — poll it on
+                    // every conflict. The deadline needs a clock read, so
+                    // poll it every 64 conflicts.
+                    let cancelled = cancel.as_ref().is_some_and(CancelToken::is_tripped);
+                    let timed_out = self.last_conflicts & 63 == 0
+                        && budget.as_ref().is_some_and(|b| b.interrupted().is_some());
+                    if capped || cancelled || timed_out {
+                        self.backtrack_to(0);
+                        return SatResult::Unknown;
+                    }
+                }
                 self.conflicts += 1;
+                self.last_conflicts += 1;
                 conflicts_here += 1;
                 if self.trail_limits.len() as u32 <= num_assumptions {
                     return SatResult::Unsat;
@@ -559,6 +639,16 @@ impl Solver {
                     self.backtrack_to(num_assumptions);
                 }
                 continue;
+            }
+
+            // The propagation cap is checked at decision boundaries (one
+            // propagate call may overshoot it, but never runs unbounded).
+            if limits
+                .max_propagations
+                .is_some_and(|cap| self.last_propagations >= cap)
+            {
+                self.backtrack_to(0);
+                return SatResult::Unknown;
             }
 
             match self.pick_branch() {
@@ -877,5 +967,134 @@ mod tests {
             assert_eq!(s.solve_with_assumptions(&[a.negative()]), SatResult::Sat);
             assert!(s.model_value(b));
         }
+    }
+
+    /// A pigeonhole instance (n+1 pigeons, n holes): UNSAT and guaranteed
+    /// to need many conflicts, so budget caps actually bind.
+    fn pigeonhole(s: &mut Solver, n: usize) {
+        let p: Vec<Vec<Var>> = (0..n + 1).map(|_| vars(s, n)).collect();
+        for row in &p {
+            let lits: Vec<SatLit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (pi, pj) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[pi.negative(), pj.negative()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_is_returned_exactly_at_the_conflict_cap() {
+        use alsrac_rt::budget::Budget;
+        // Reference: how many conflicts does the unbudgeted solve need?
+        let mut reference = Solver::new();
+        pigeonhole(&mut reference, 6);
+        assert_eq!(reference.solve(), SatResult::Unsat);
+        let needed = reference.last_conflicts();
+        assert!(needed > 10, "instance too easy to exercise the cap");
+
+        for cap in [0, 1, needed / 2, needed - 1] {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, 6);
+            s.set_budget(Budget::default().with_sat_conflicts(cap));
+            assert_eq!(s.solve(), SatResult::Unknown, "cap {cap}");
+            assert_eq!(s.last_conflicts(), cap, "spent exactly the cap");
+        }
+        // A cap at (or above) the true requirement answers normally and
+        // spends the same deterministic conflict count.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6);
+        s.set_budget(Budget::default().with_sat_conflicts(needed));
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert_eq!(s.last_conflicts(), needed);
+    }
+
+    #[test]
+    fn propagation_cap_degrades_to_unknown() {
+        use alsrac_rt::budget::Budget;
+        let mut reference = Solver::new();
+        pigeonhole(&mut reference, 6);
+        assert_eq!(reference.solve(), SatResult::Unsat);
+        let needed = reference.last_propagations();
+        assert!(needed > 10);
+
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6);
+        s.set_budget(Budget::default().with_sat_propagations(needed / 2));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert!(s.last_propagations() < needed);
+        s.clear_budget();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn budget_exhausted_scoped_solve_leaves_the_solver_reusable() {
+        use alsrac_rt::budget::Budget;
+        // Base formula: a simple implication cycle (SAT).
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        for (i, &x) in v.iter().enumerate() {
+            s.add_clause(&[x.negative(), v[(i + 1) % v.len()].positive()]);
+        }
+        // Inside a scope, pile on a hard UNSAT instance and exhaust the
+        // budget on it.
+        s.push_scope();
+        pigeonhole(&mut s, 6);
+        s.set_budget(Budget::default().with_sat_conflicts(5));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        // Popping the scope must still retire the scoped clauses (and any
+        // learned clauses derived from them) even though the last answer
+        // was Unknown.
+        s.pop_scope();
+        assert_eq!(s.scope_depth(), 0);
+        s.clear_budget();
+        assert_eq!(s.solve(), SatResult::Sat, "base formula intact after pop");
+        assert_eq!(s.solve_with_assumptions(&[v[0].positive()]), SatResult::Sat);
+        assert!(v.iter().all(|&x| s.model_value(x)), "cycle forces all true");
+    }
+
+    #[test]
+    fn tripped_cancel_token_yields_unknown_and_untripped_does_not() {
+        use alsrac_rt::budget::{Budget, CancelToken};
+        let token = CancelToken::new();
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        s.set_budget(Budget::default().with_cancel(token.clone()));
+        assert_eq!(s.solve(), SatResult::Unsat, "untripped token is inert");
+        // The UNSAT answer made the solver permanently dead — a hard fact
+        // that rightly beats any budget. Use a fresh solver for the
+        // tripped-token path.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        s.set_budget(Budget::default().with_cancel(token.clone()));
+        token.trip();
+        assert_eq!(s.solve(), SatResult::Unknown, "tripped at entry");
+        s.clear_budget();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown() {
+        use alsrac_rt::budget::Budget;
+        use std::time::Duration;
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        s.set_budget(Budget::default().with_deadline_after(Duration::ZERO));
+        assert_eq!(s.solve(), SatResult::Unknown);
+    }
+
+    #[test]
+    fn unbudgeted_solver_never_answers_unknown_and_counts_deterministically() {
+        let mut a = Solver::new();
+        pigeonhole(&mut a, 5);
+        let mut b = Solver::new();
+        pigeonhole(&mut b, 5);
+        assert_eq!(a.solve(), SatResult::Unsat);
+        assert_eq!(b.solve(), SatResult::Unsat);
+        assert_eq!(a.last_conflicts(), b.last_conflicts());
+        assert_eq!(a.last_propagations(), b.last_propagations());
     }
 }

@@ -33,6 +33,14 @@
 #           certified bound; the artifact is validated by `report --cert`
 #           and must be bit-identical between ALSRAC_THREADS=1 and 3 apart
 #           from the recorded "threads" field
+#   fault-smoke
+#           robustness gate: the fault-injection property suite sweeps
+#           seeded cancel faults over two bundled circuits and asserts
+#           every interrupted run checkpoints and resumes bit-identically
+#           to the uninterrupted run, SAT starvation degrades certificates
+#           instead of hanging, and a failing trace sink changes nothing;
+#           run at ALSRAC_THREADS=1 and 3 (the suite additionally pins
+#           1/3/7 workers in-process)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -148,6 +156,16 @@ run_cert_smoke() {
     echo "cert-smoke gate passed."
 }
 
+run_fault_smoke() {
+    echo "==> fault-injection gate (checkpoint/resume bit-identity)"
+    # The suite arms process-global fault plans, so it runs in its own
+    # test binary; both pinned pool sizes must reproduce the same bits
+    # (the suite also pins 1/3/7 workers in-process via with_threads).
+    ALSRAC_THREADS=1 cargo test -q --offline -p alsrac --test fault_injection
+    ALSRAC_THREADS=3 cargo test -q --offline -p alsrac --test fault_injection
+    echo "fault-smoke gate passed."
+}
+
 case "$step" in
 fmt) run_fmt ;;
 clippy) run_clippy ;;
@@ -157,6 +175,7 @@ smoke) run_smoke ;;
 bench-smoke) run_bench_smoke ;;
 window-smoke) run_window_smoke ;;
 cert-smoke) run_cert_smoke ;;
+fault-smoke) run_fault_smoke ;;
 all)
     run_fmt
     run_clippy
@@ -166,9 +185,10 @@ all)
     run_bench_smoke
     run_window_smoke
     run_cert_smoke
+    run_fault_smoke
     ;;
 *)
-    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|cert-smoke|all)" >&2
+    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|cert-smoke|fault-smoke|all)" >&2
     exit 2
     ;;
 esac

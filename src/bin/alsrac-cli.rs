@@ -4,23 +4,40 @@
 //! ```text
 //! alsrac-cli --input adder.blif --metric er --threshold 0.01 --output approx.blif
 //! alsrac-cli --bench rca32 --metric nmed --threshold 0.0005 --map lut6
+//! alsrac-cli --bench ks32 --metric wce --threshold 4 --deadline 30 --sat-conflicts 100000
 //! ```
 //!
 //! Input formats: BLIF (`.blif`), ASCII AIGER (`.aag`), binary AIGER
 //! (`.aig`), or a named generated benchmark via `--bench`. The output
 //! format follows the output file extension.
+//!
+//! # Budgets and interruption
+//!
+//! `--deadline SECS` bounds the wall clock and `--sat-conflicts` /
+//! `--sat-propagations` cap each SAT certification query (capped queries
+//! degrade the certificate instead of hanging the run). Ctrl-C (SIGINT)
+//! trips the flow's cancel token cooperatively: the run stops at the next
+//! iteration boundary, writes its loop state to the `--checkpoint` path,
+//! flushes the trace, prints the best circuit found so far, and exits
+//! with status 130. A later invocation with `--resume PATH` (same
+//! circuit, seed, metric, and threshold) continues from that state and
+//! produces a result bit-identical to a never-interrupted run.
 
 use std::error::Error;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use alsrac_suite::aig::Aig;
 use alsrac_suite::circuits::{aiger, blif, catalog};
 use alsrac_suite::core::baseline::{liu, su};
-use alsrac_suite::core::flow::{run, FlowConfig};
+use alsrac_suite::core::checkpoint::Checkpoint;
+use alsrac_suite::core::flow::{self, run, FlowConfig, FlowOutcome};
 use alsrac_suite::map::cell::{map_cells, Library};
 use alsrac_suite::map::lut::map_luts;
-use alsrac_suite::metrics::ErrorMetric;
+use alsrac_suite::metrics::{CertStatus, ErrorMetric};
+use alsrac_suite::rt::budget::{Budget, CancelToken};
 
 struct Args {
     input: Option<String>,
@@ -32,6 +49,11 @@ struct Args {
     method: String,
     map: Option<String>,
     measure_rounds: usize,
+    deadline: Option<f64>,
+    sat_conflicts: Option<u64>,
+    sat_propagations: Option<u64>,
+    checkpoint: String,
+    resume: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -46,6 +68,15 @@ usage: alsrac-cli [options]
   --map lut6|cells    also report mapped cost
   --seed N            RNG seed (default 1)
   --rounds N          Monte-Carlo measurement rounds (default 100000)
+  --deadline SECS     stop after this much wall time, checkpointing
+  --sat-conflicts N   cap each SAT certification query at N conflicts
+  --sat-propagations N  cap each SAT query at N literal propagations
+  --checkpoint FILE   where an interrupted run saves its state
+                      (default alsrac_checkpoint.json)
+  --resume FILE       continue a previously interrupted run from FILE
+                      (requires the same circuit, seed, metric, threshold)
+
+Ctrl-C checkpoints the run to the --checkpoint path and exits 130.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +90,11 @@ fn parse_args() -> Result<Args, String> {
         method: "alsrac".to_string(),
         map: None,
         measure_rounds: 100_000,
+        deadline: None,
+        sat_conflicts: None,
+        sat_propagations: None,
+        checkpoint: "alsrac_checkpoint.json".to_string(),
+        resume: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -85,12 +121,48 @@ fn parse_args() -> Result<Args, String> {
             }
             "--method" => args.method = value()?,
             "--map" => args.map = Some(value()?),
+            "--deadline" => {
+                let secs: f64 = value()?.parse().map_err(|e| format!("deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("deadline must be a positive number, got {secs}"));
+                }
+                args.deadline = Some(secs);
+            }
+            "--sat-conflicts" => {
+                args.sat_conflicts = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("sat-conflicts: {e}"))?,
+                )
+            }
+            "--sat-propagations" => {
+                args.sat_propagations = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("sat-propagations: {e}"))?,
+                )
+            }
+            "--checkpoint" => args.checkpoint = value()?,
+            "--resume" => args.resume = Some(value()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.input.is_none() == args.bench.is_none() {
         return Err("exactly one of --input or --bench is required".to_string());
+    }
+    if args.method != "alsrac" {
+        let budgeted = args.deadline.is_some()
+            || args.sat_conflicts.is_some()
+            || args.sat_propagations.is_some()
+            || args.resume.is_some();
+        if budgeted {
+            return Err(format!(
+                "--deadline/--sat-conflicts/--sat-propagations/--resume require \
+                 --method alsrac, not {:?}",
+                args.method
+            ));
+        }
     }
     Ok(args)
 }
@@ -127,6 +199,32 @@ fn save(path: &str, aig: &Aig) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// The token the SIGINT handler trips. Installed once before the flow
+/// starts; the handler only does an atomic store, which is
+/// async-signal-safe.
+static SIGINT_CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(token) = SIGINT_CANCEL.get() {
+        token.trip();
+    }
+}
+
+/// Installs `on_sigint` as the SIGINT disposition via libc `signal(2)`
+/// (no signal-handling crate in this dependency-free workspace). Returns
+/// the token the handler trips.
+fn install_sigint_handler() -> CancelToken {
+    const SIGINT: i32 = 2;
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let token = SIGINT_CANCEL.get_or_init(CancelToken::new).clone();
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+    token
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -139,7 +237,7 @@ fn main() -> ExitCode {
         }
     };
     match real_main(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -147,7 +245,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
+fn real_main(args: &Args) -> Result<ExitCode, Box<dyn Error>> {
     if let Some(path) = alsrac_suite::rt::trace::init_from_env()? {
         eprintln!("tracing to {path} (ALSRAC_TRACE)");
     }
@@ -155,16 +253,39 @@ fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
     eprintln!("loaded: {exact:?}");
 
     let result = match args.method.as_str() {
-        "alsrac" => run(
-            &exact,
-            &FlowConfig {
+        "alsrac" => {
+            let mut budget = Budget::unlimited().with_cancel(install_sigint_handler());
+            if let Some(secs) = args.deadline {
+                budget = budget.with_deadline_after(Duration::from_secs_f64(secs));
+            }
+            if let Some(n) = args.sat_conflicts {
+                budget = budget.with_sat_conflicts(n);
+            }
+            if let Some(n) = args.sat_propagations {
+                budget = budget.with_sat_propagations(n);
+            }
+            let config = FlowConfig {
                 metric: args.metric,
                 threshold: args.threshold,
                 seed: args.seed,
                 measure_rounds: args.measure_rounds,
+                budget,
                 ..FlowConfig::default()
-            },
-        )?,
+            };
+            match &args.resume {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
+                    let checkpoint = Checkpoint::parse(&text)?;
+                    eprintln!(
+                        "resuming from {path}: {} iterations done, {} applied",
+                        checkpoint.iterations, checkpoint.applied
+                    );
+                    flow::resume(&exact, &config, checkpoint)?
+                }
+                None => run(&exact, &config)?,
+            }
+        }
         "su" => su::run(
             &exact,
             &su::SuConfig {
@@ -188,12 +309,20 @@ fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
         other => return Err(format!("unknown method {other:?}").into()),
     };
 
+    if let FlowOutcome::Interrupted { reason } = &result.outcome {
+        eprintln!("interrupted: {reason}");
+    }
     println!(
-        "{} -> {} AND nodes ({:.2}%), {} changes applied",
+        "{} -> {} AND nodes ({:.2}%), {} changes applied{}",
         exact.num_ands(),
         result.approx.num_ands(),
         result.approx.num_ands() as f64 / exact.num_ands().max(1) as f64 * 100.0,
         result.applied,
+        if result.outcome.is_completed() {
+            ""
+        } else {
+            " (best so far)"
+        },
     );
     println!(
         "measured: ER = {:.6}  NMED = {}  MRED = {}",
@@ -209,20 +338,18 @@ fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
     );
 
     if let Some(cert) = &result.certificate {
+        let qualifier = match &cert.status {
+            CertStatus::Degraded { reason } => format!("DEGRADED: {reason}; sampled value"),
+            CertStatus::Certified if cert.exact => "exact".to_string(),
+            CertStatus::Certified => format!(
+                "within {:.0}% w.p. {:.0}%",
+                cert.epsilon * 100.0,
+                (1.0 - cert.delta) * 100.0
+            ),
+        };
         println!(
-            "certified: {} = {} ({}, {} SAT queries)",
-            cert.metric,
-            cert.value,
-            if cert.exact {
-                "exact".to_string()
-            } else {
-                format!(
-                    "within {:.0}% w.p. {:.0}%",
-                    cert.epsilon * 100.0,
-                    (1.0 - cert.delta) * 100.0
-                )
-            },
-            cert.sat_queries,
+            "certified: {} = {} ({qualifier}, {} SAT queries)",
+            cert.metric, cert.value, cert.sat_queries,
         );
     }
 
@@ -258,5 +385,18 @@ fn real_main(args: &Args) -> Result<(), Box<dyn Error>> {
     // No-ops unless ALSRAC_TRACE installed a sink above.
     alsrac_suite::rt::trace::emit_totals();
     alsrac_suite::rt::trace::flush();
-    Ok(())
+
+    if let Some(checkpoint) = &result.checkpoint {
+        std::fs::write(&args.checkpoint, checkpoint.to_json() + "\n")
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", args.checkpoint))?;
+        eprintln!(
+            "checkpoint written to {}; continue with --resume {}",
+            args.checkpoint, args.checkpoint
+        );
+        // Conventional exit status for SIGINT-terminated processes; also
+        // used for deadline expiry so wrappers treat both as "stopped
+        // early, partial result saved".
+        return Ok(ExitCode::from(130));
+    }
+    Ok(ExitCode::SUCCESS)
 }
