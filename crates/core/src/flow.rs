@@ -253,7 +253,32 @@ pub struct FlowResult {
 ///   on a circuit with more than 63 outputs.
 pub fn run(original: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError> {
     preflight(original, config)?;
-    run_from(original, config, None)
+    run_from(original, config, None, None)
+}
+
+/// [`run`] with a caller-provided exhaustive estimation-pattern buffer.
+///
+/// Multi-tenant drivers (`alsrac::serve`) run many flows over the same
+/// small circuits; the exhaustive estimation buffer for an `n`-input
+/// circuit is identical for every such flow, so they build it once and
+/// share it via `Arc`. The buffer is used only when this run would build
+/// the identical buffer itself (uniform input distribution, `n ≤`
+/// [`EXHAUSTIVE_ESTIMATION_LIMIT`], matching input/pattern counts) —
+/// otherwise it is ignored and the flow draws its own patterns, so the
+/// result is bit-identical to [`run`] in every case. `shared_est` must be
+/// `PatternBuffer::exhaustive(original.num_inputs())`; passing any other
+/// buffer of the same shape violates the determinism contract.
+///
+/// # Errors
+///
+/// Exactly [`run`]'s errors.
+pub fn run_shared(
+    original: &Aig,
+    config: &FlowConfig,
+    shared_est: Option<&PatternBuffer>,
+) -> Result<FlowResult, FlowError> {
+    preflight(original, config)?;
+    run_from(original, config, None, shared_est)
 }
 
 /// Continues an interrupted run from its [`Checkpoint`].
@@ -313,7 +338,7 @@ pub fn resume(
             original.num_outputs()
         ));
     }
-    run_from(original, config, Some(checkpoint))
+    run_from(original, config, Some(checkpoint), None)
 }
 
 /// Shared validation of [`run`] and [`resume`].
@@ -343,6 +368,7 @@ fn run_from(
     original: &Aig,
     config: &FlowConfig,
     checkpoint: Option<Checkpoint>,
+    shared_est: Option<&PatternBuffer>,
 ) -> Result<FlowResult, FlowError> {
     // Telemetry: every record of this run is stamped with a process-unique
     // id so concurrently running flows (pool workers in the table
@@ -403,17 +429,32 @@ fn run_from(
         }
     };
     // Exhaustive estimation is only unbiased under the uniform
-    // distribution; biased flows always sample.
-    let est_patterns =
-        if config.input_bias.is_none() && original.num_inputs() <= EXHAUSTIVE_ESTIMATION_LIMIT {
-            PatternBuffer::exhaustive(original.num_inputs())
-        } else {
-            draw(
-                original.num_inputs(),
-                config.est_rounds,
-                derive_seed(config.seed, Stream::Estimation),
-            )
-        };
+    // distribution; biased flows always sample. A shared buffer is
+    // accepted only when it matches the exhaustive buffer this run would
+    // build itself, so sharing can never change a result.
+    let exhaustive_est =
+        config.input_bias.is_none() && original.num_inputs() <= EXHAUSTIVE_ESTIMATION_LIMIT;
+    let shared_est = shared_est.filter(|p| {
+        exhaustive_est
+            && p.num_inputs() == original.num_inputs()
+            && p.num_patterns() == 1usize << original.num_inputs()
+    });
+    let owned_est;
+    let est_patterns: &PatternBuffer = match shared_est {
+        Some(shared) => shared,
+        None => {
+            owned_est = if exhaustive_est {
+                PatternBuffer::exhaustive(original.num_inputs())
+            } else {
+                draw(
+                    original.num_inputs(),
+                    config.est_rounds,
+                    derive_seed(config.seed, Stream::Estimation),
+                )
+            };
+            &owned_est
+        }
+    };
 
     // The fanout map is a pure function of `current`: build it once and
     // rebuild only after a LAC is actually applied, not on the retry paths
@@ -425,7 +466,7 @@ fn run_from(
     // across iterations and updated cone-locally on accepted LACs
     // (`full_resim` restores the old sweep-everything behaviour).
     let original_est_outputs = (!config.full_resim)
-        .then(|| Simulation::new(original, &est_patterns).output_words(original));
+        .then(|| Simulation::new(original, est_patterns).output_words(original));
     let mut est_sim: Option<Simulation> = None;
     // WCE mode: the threshold is an absolute maximum error distance, and
     // every acceptance is gated by a SAT query instead of trusting the
@@ -514,15 +555,15 @@ fn run_from(
                 reference,
                 est_sim
                     .take()
-                    .unwrap_or_else(|| Simulation::new(&current, &est_patterns)),
+                    .unwrap_or_else(|| Simulation::new(&current, est_patterns)),
                 &current,
-                &est_patterns,
+                est_patterns,
                 &fanouts,
             ),
             // Baseline engine: full re-simulation of both circuits and
             // full-TFO-cone influence masks, every iteration.
             None => {
-                Estimator::new(original, &current, &est_patterns, &fanouts).with_full_influence()
+                Estimator::new(original, &current, est_patterns, &fanouts).with_full_influence()
             }
         };
         let Some(ranked) = estimator.ranked_candidates(&lacs, config.metric) else {
@@ -647,7 +688,7 @@ fn run_from(
         let new_sim = delta.map(|delta| {
             estimator
                 .into_simulation()
-                .update(&applied_aig, &delta, &est_patterns)
+                .update(&applied_aig, &delta, est_patterns)
         });
         current = applied_aig;
         fanouts = current.fanout_map();

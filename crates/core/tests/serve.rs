@@ -1,0 +1,352 @@
+//! Integration suite for the daemon (`alsrac::serve`).
+//!
+//! The contract under test (DESIGN.md "Service mode"):
+//!
+//! 1. **Worker-count determinism.** The same job mix, submitted with the
+//!    same interleaving, produces per-job `run_end` records identical at
+//!    1, 3, and 7 workers once the legitimately volatile fields (run
+//!    ids, wall-clock timings) are stripped: every job runs its flow
+//!    single-threaded from its own seed, so scheduling cannot leak into
+//!    results.
+//! 2. **Fault-cancelled jobs checkpoint and resume bit-identically.** A
+//!    seeded cancel fault fired inside a daemon job interrupts it; the
+//!    checkpoint from its terminal record resumes — via the public
+//!    `flow::resume` — to the exact result of an uninterrupted direct
+//!    run.
+//! 3. **Poisoned jobs degrade to error responses without wedging the
+//!    queue.** An unresolvable circuit and a panicking resolver both
+//!    yield `failed` terminal records, and jobs submitted after them
+//!    still complete; a SAT-starved certification job completes with a
+//!    degraded certificate instead of hanging its worker.
+//!
+//! The daemon owns the process-global trace sink and the fault plan is
+//! process-global too, so every test holds [`lock`] for its duration.
+
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use alsrac::checkpoint::Checkpoint;
+use alsrac::flow;
+use alsrac::serve::{
+    self, request_pipe, wait_for_record, Catalog, CircuitSource, LineCollector, Request,
+    RequestPipe, ServeOptions, ServeSummary, SubmitRequest,
+};
+use alsrac_aig::Aig;
+use alsrac_circuits::{aiger, arith};
+use alsrac_metrics::ErrorMetric;
+use alsrac_rt::faults::{self, FaultAction, FaultPlan};
+use alsrac_rt::json::Json;
+
+/// Serializes tests: the trace sink and the fault plan are process-global.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Test resolver over the arithmetic generators, plus two poisoned names
+/// and inline ASCII-AIGER support.
+fn resolver() -> Box<serve::Resolver> {
+    Box::new(|source: &CircuitSource| match source {
+        CircuitSource::Named { name, .. } => match name.as_str() {
+            "rca4" => Ok(arith::ripple_carry_adder(4)),
+            "ksa4" => Ok(arith::kogge_stone_adder(4)),
+            "mtp4" => Ok(arith::array_multiplier(4)),
+            "panicky" => panic!("resolver blew up on purpose"),
+            other => Err(format!("unknown benchmark {other:?}")),
+        },
+        CircuitSource::Aag(text) => aiger::parse_ascii(text).map_err(|e| e.to_string()),
+        CircuitSource::Blif(_) => Err("no BLIF in this test resolver".to_string()),
+    })
+}
+
+fn resolve(source: &CircuitSource) -> Aig {
+    resolver()(source).expect("test circuit resolves")
+}
+
+struct Session {
+    pipe: RequestPipe,
+    out: LineCollector,
+    handle: JoinHandle<ServeSummary>,
+}
+
+fn start(workers: usize) -> Session {
+    let catalog = Arc::new(Catalog::new(resolver()));
+    let (pipe, reader) = request_pipe();
+    let out = LineCollector::new();
+    let sink = out.clone();
+    let handle = std::thread::spawn(move || {
+        serve::serve(reader, sink, catalog, &ServeOptions { workers }, None)
+    });
+    Session { pipe, out, handle }
+}
+
+impl Session {
+    fn submit(&self, spec: &SubmitRequest) {
+        self.pipe.request(&Request::Submit(spec.clone()));
+    }
+
+    fn shut_down(self) -> (ServeSummary, Vec<Json>) {
+        self.pipe.request(&Request::Shutdown { cancel: false });
+        drop(self.pipe);
+        let summary = self.handle.join().expect("serve thread");
+        let records = self
+            .out
+            .lines()
+            .iter()
+            .map(|l| Json::parse(l).expect("daemon emits valid JSON"))
+            .collect();
+        (summary, records)
+    }
+}
+
+fn job(name: &str, seed: u64, metric: ErrorMetric, threshold: f64) -> SubmitRequest {
+    let mut spec = SubmitRequest::named(name, "test");
+    spec.metric = metric;
+    spec.threshold = threshold;
+    spec.seed = seed;
+    spec.max_iterations = Some(20);
+    spec.measure_rounds = Some(5_000);
+    spec
+}
+
+fn record_type(record: &Json) -> &str {
+    record.get("type").and_then(Json::as_str).unwrap_or("")
+}
+
+fn job_id(record: &Json) -> Option<u64> {
+    record.get("job_id").and_then(Json::as_u64)
+}
+
+fn wait(rx: &mpsc::Receiver<String>, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    wait_for_record(rx, Duration::from_secs(120), pred)
+        .unwrap_or_else(|| panic!("timed out waiting for {what}"))
+}
+
+/// The volatile fields of a flow record: everything else must be
+/// identical between daemon runs at different worker counts.
+fn stripped(record: &Json) -> Json {
+    match record {
+        Json::Obj(map) => {
+            let mut map = map.clone();
+            for key in ["run", "wall_ns", "phase_ns", "job_id"] {
+                map.remove(key);
+            }
+            Json::Obj(map)
+        }
+        other => panic!("flow record is not an object: {other:?}"),
+    }
+}
+
+// -----------------------------------------------------------------------
+// 1. Worker-count determinism
+
+fn job_mix() -> Vec<SubmitRequest> {
+    let inline = aiger::write_ascii(&arith::ripple_carry_adder(4));
+    let mut inline_job = job("rca4", 3, ErrorMetric::Nmed, 0.02);
+    inline_job.source = CircuitSource::Aag(inline);
+    vec![
+        job("rca4", 11, ErrorMetric::ErrorRate, 0.15),
+        job("ksa4", 7, ErrorMetric::ErrorRate, 0.15),
+        inline_job,
+        job("mtp4", 5, ErrorMetric::ErrorRate, 0.10),
+    ]
+}
+
+/// Runs the mix with the same interleaving (two jobs up front, two more
+/// once the first is already running) and returns each job's stripped
+/// `run_end`, in job-id order.
+fn run_mix(workers: usize) -> Vec<Json> {
+    let jobs = job_mix();
+    let session = start(workers);
+    let watch = session.out.watch();
+    session.submit(&jobs[0]);
+    session.submit(&jobs[1]);
+    wait(&watch, "run_start of job 1", |r| {
+        record_type(r) == "run_start" && job_id(r) == Some(1)
+    });
+    session.submit(&jobs[2]);
+    session.submit(&jobs[3]);
+    let (summary, records) = session.shut_down();
+    assert_eq!(summary.totals.submitted, jobs.len() as u64);
+    assert_eq!(summary.totals.completed, jobs.len() as u64);
+
+    (1..=jobs.len() as u64)
+        .map(|id| {
+            let matching: Vec<&Json> = records
+                .iter()
+                .filter(|r| record_type(r) == "run_end" && job_id(r) == Some(id))
+                .collect();
+            assert_eq!(matching.len(), 1, "job {id}: exactly one run_end");
+            stripped(matching[0])
+        })
+        .collect()
+}
+
+#[test]
+fn same_job_mix_is_bit_identical_at_1_3_and_7_workers() {
+    let _guard = lock();
+    let reference = run_mix(1);
+    for workers in [3, 7] {
+        assert_eq!(
+            run_mix(workers),
+            reference,
+            "run_end records differ between 1 and {workers} workers"
+        );
+    }
+}
+
+// -----------------------------------------------------------------------
+// 2. Fault-cancelled job → checkpoint → resume equals the direct run
+
+#[test]
+fn fault_cancelled_job_resumes_bit_identically_to_a_direct_run() {
+    let _guard = lock();
+    let spec = job("rca4", 11, ErrorMetric::ErrorRate, 0.15);
+    let aig = resolve(&spec.source);
+    let config = spec.flow_config();
+    let reference = flow::run(&aig, &config).expect("direct reference run");
+    assert!(
+        reference.applied > 0,
+        "reference applied nothing — the equality check would be vacuous"
+    );
+
+    // Fire a cancel fault a few spans into the job: the daemon wires each
+    // job's cancel token into the fault layer, so the armed plan trips
+    // THIS job, which must interrupt at its next budget poll.
+    faults::arm(FaultPlan {
+        fire_at_span: 3,
+        action: FaultAction::Cancel,
+    });
+    let session = start(1);
+    let watch = session.out.watch();
+    session.submit(&spec);
+    let done = wait(&watch, "terminal record of the faulted job", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(1)
+    });
+    faults::disarm();
+    let (summary, _) = session.shut_down();
+
+    assert_eq!(
+        done.get("outcome").and_then(Json::as_str),
+        Some("interrupted"),
+        "the fault must interrupt the job"
+    );
+    assert_eq!(summary.totals.interrupted, 1);
+    let text = done
+        .get("checkpoint")
+        .and_then(Json::as_str)
+        .expect("interrupted job carries its checkpoint");
+    let checkpoint = Checkpoint::parse(text).expect("checkpoint parses");
+
+    let resumed = flow::resume(&aig, &config, checkpoint).expect("resume");
+    assert_eq!(resumed.iterations, reference.iterations);
+    assert_eq!(resumed.applied, reference.applied);
+    assert_eq!(resumed.outcome, reference.outcome);
+    assert_eq!(
+        resumed.measured.error_rate.to_bits(),
+        reference.measured.error_rate.to_bits()
+    );
+    assert_eq!(
+        aiger::write_ascii(&resumed.approx),
+        aiger::write_ascii(&reference.approx),
+        "resumed circuit differs structurally from the direct run"
+    );
+}
+
+// -----------------------------------------------------------------------
+// 3. Poisoned jobs fail cleanly; the queue keeps draining
+
+#[test]
+fn poisoned_jobs_fail_without_wedging_the_queue() {
+    let _guard = lock();
+    let session = start(1);
+    let watch = session.out.watch();
+
+    // Job 1: unresolvable circuit. Job 2: resolver panic (caught at the
+    // job boundary). Job 3: healthy, must still complete.
+    session.submit(&job("no_such_circuit", 1, ErrorMetric::ErrorRate, 0.1));
+    session.submit(&job("panicky", 1, ErrorMetric::ErrorRate, 0.1));
+    session.submit(&job("rca4", 11, ErrorMetric::ErrorRate, 0.15));
+
+    let failed = wait(&watch, "job 1 terminal record", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(1)
+    });
+    assert_eq!(failed.get("outcome").and_then(Json::as_str), Some("failed"));
+    let error = failed.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        error.contains("unknown benchmark"),
+        "failed record must carry the resolver error, got {error:?}"
+    );
+
+    let panicked = wait(&watch, "job 2 terminal record", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(2)
+    });
+    assert_eq!(
+        panicked.get("outcome").and_then(Json::as_str),
+        Some("failed")
+    );
+    let error = panicked.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        error.contains("panicked") && error.contains("on purpose"),
+        "panic must be caught and reported, got {error:?}"
+    );
+
+    let healthy = wait(&watch, "job 3 terminal record", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(3)
+    });
+    assert_eq!(
+        healthy.get("outcome").and_then(Json::as_str),
+        Some("completed"),
+        "a healthy job after two poisoned ones must still complete"
+    );
+
+    let (summary, _) = session.shut_down();
+    assert_eq!(summary.totals.failed, 2);
+    assert_eq!(summary.totals.completed, 1);
+}
+
+#[test]
+fn sat_starved_certification_job_degrades_instead_of_hanging() {
+    let _guard = lock();
+    let mut spec = job("rca4", 11, ErrorMetric::ErrorRate, 0.15);
+    spec.certify = true;
+
+    // Exhaust the SAT budget immediately: every certification query is
+    // starved, so the job must complete with a degraded certificate.
+    faults::arm(FaultPlan {
+        fire_at_span: 1,
+        action: FaultAction::ExhaustSatBudget,
+    });
+    let session = start(1);
+    let watch = session.out.watch();
+    session.submit(&spec);
+    // The flow's run_end streams out before the daemon's terminal record,
+    // and `watch` is a single consuming receiver — take them in order.
+    let end = wait(&watch, "run_end of the starved job", |r| {
+        record_type(r) == "run_end" && job_id(r) == Some(1)
+    });
+    let done = wait(&watch, "terminal record of the starved job", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(1)
+    });
+    faults::disarm();
+    let (summary, _) = session.shut_down();
+
+    assert_eq!(
+        done.get("outcome").and_then(Json::as_str),
+        Some("completed"),
+        "SAT starvation must degrade the certificate, not fail the job"
+    );
+    assert_eq!(summary.totals.completed, 1);
+    let status = end
+        .get("certified")
+        .and_then(|c| c.get("status"))
+        .and_then(Json::as_str);
+    assert_eq!(
+        status,
+        Some("degraded"),
+        "the streamed run_end must carry the degraded certificate"
+    );
+}

@@ -4,10 +4,16 @@
 #
 # Usage: scripts/ci.sh [step]
 #
+# Every step runs under a timing harness: the script prints a per-step
+# wall-time summary on exit and, on failure, names the step that failed.
+# All smoke gates share ONE `cargo build --release --offline --workspace`
+# (run lazily by the first gate that needs it), so invoking `all` builds
+# the release binaries exactly once.
+#
 # Steps (default `all` runs every one in order):
 #   fmt     cargo fmt --check
 #   clippy  cargo clippy with warnings denied
-#   build   release build of the whole workspace
+#   build   release build of the whole workspace (shared by every gate)
 #   test    test suite at the default thread pool, then pinned to
 #           ALSRAC_THREADS=1 (serial) and ALSRAC_THREADS=3 (odd worker
 #           count, so non-divisible work splits are exercised)
@@ -41,10 +47,81 @@
 #           instead of hanging, and a failing trace sink changes nothing;
 #           run at ALSRAC_THREADS=1 and 3 (the suite additionally pins
 #           1/3/7 workers in-process)
+#   serve-smoke
+#           daemon gate: `bench_serve --smoke` runs three concurrent jobs
+#           through an in-process daemon at ALSRAC_THREADS=1 and 3 and
+#           asserts every streamed run_end bit-identical to a direct
+#           `flow::run` at the same seed, a malformed request line yields
+#           a structured error naming its line number without killing the
+#           daemon, and cancelling an in-flight job yields an interrupted
+#           record whose checkpoint `flow::resume` completes from; then a
+#           scripted transcript is piped through the real `alsrac-cli
+#           --serve` binary and the captured session — responses plus
+#           job-tagged flow records — must be a schema-valid trace.
+#           `report --serve` validates both fresh artifacts and the
+#           committed BENCH_serve.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 step="${1:-all}"
+
+# --------------------------------------------------------------------
+# Harness: per-step timing, fail-fast step naming, shared temp files,
+# and the one shared release build.
+
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+TMP_FILES=()
+RELEASE_BUILT=0
+
+on_exit() {
+    status=$?
+    rm -f ${TMP_FILES[@]+"${TMP_FILES[@]}"}
+    if [[ ${#STEP_NAMES[@]} -gt 0 ]]; then
+        echo
+        echo "step timing:"
+        for i in "${!STEP_NAMES[@]}"; do
+            printf '  %-14s %4ss\n' "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}"
+        done
+    fi
+    if [[ $status -ne 0 ]]; then
+        echo "CI FAILED in step '${CURRENT_STEP:-<setup>}' (exit $status)." >&2
+    fi
+    exit "$status"
+}
+trap on_exit EXIT
+
+run_step() {
+    local name="$1"
+    shift
+    CURRENT_STEP="$name"
+    local start=$SECONDS
+    "$@"
+    STEP_NAMES+=("$name")
+    STEP_SECS+=($((SECONDS - start)))
+    CURRENT_STEP=""
+}
+
+tmpfile() {
+    local f
+    f="$(mktemp -t "$1")"
+    TMP_FILES+=("$f")
+    echo "$f"
+}
+
+# Every gate binary comes out of this one workspace build; the first
+# caller pays for it, the rest reuse it.
+ensure_release_build() {
+    if [[ $RELEASE_BUILT -eq 0 ]]; then
+        echo "==> cargo build --release --offline --workspace (shared)"
+        cargo build --release --offline --workspace
+        RELEASE_BUILT=1
+    fi
+}
+
+# --------------------------------------------------------------------
+# Steps
 
 run_fmt() {
     echo "==> cargo fmt --check"
@@ -57,8 +134,7 @@ run_clippy() {
 }
 
 run_build() {
-    echo "==> cargo build --release --offline"
-    cargo build --release --offline
+    ensure_release_build
 }
 
 run_test() {
@@ -76,13 +152,10 @@ run_test() {
 }
 
 run_smoke() {
-    # `report` is built by the build step; build it here too so the smoke
-    # step is self-contained when invoked alone.
-    cargo build --release --offline -p alsrac-bench --bin report
+    ensure_release_build
 
     echo "==> trace smoke gate (schema + bit-exactness)"
-    smoke_trace="$(mktemp -t alsrac_smoke_XXXXXX.jsonl)"
-    trap 'rm -f "$smoke_trace"' EXIT
+    smoke_trace="$(tmpfile alsrac_smoke_XXXXXX.jsonl)"
     ALSRAC_TRACE="$smoke_trace" target/release/report --smoke
 
     echo "==> disabled-trace overhead gate (<= 2%)"
@@ -90,18 +163,15 @@ run_smoke() {
 }
 
 run_bench_smoke() {
-    # Self-contained like the smoke step: build the binary if invoked alone.
-    cargo build --release --offline -p alsrac-bench --bin bench_sim
+    ensure_release_build
 
     echo "==> incremental simulation gate (bit-exact + words saved)"
-    bench_json="$(mktemp -t alsrac_bench_sim_XXXXXX.json)"
-    # `all` runs the smoke step first; keep its temp file in the trap too.
-    trap 'rm -f "$bench_json" "${smoke_trace:-}"' EXIT
+    bench_json="$(tmpfile alsrac_bench_sim_XXXXXX.json)"
     # bench_sim asserts: flow output bit-identical between the full-sweep
     # and incremental engines, sim_words_saved > 0, and strictly fewer
     # node-words simulated incrementally.
     target/release/bench_sim --smoke "$bench_json"
-    grep -q '"sim_words_saved": 0[,}]' "$bench_json" && {
+    grep -q '"sim_words_saved": \?0[,}]' "$bench_json" && {
         echo "bench-smoke: sim_words_saved is zero" >&2
         exit 1
     }
@@ -109,21 +179,18 @@ run_bench_smoke() {
 }
 
 run_window_smoke() {
-    # Self-contained like the smoke step: build the binary if invoked alone.
-    cargo build --release --offline -p alsrac-bench --bin bench_window
+    ensure_release_build
 
     echo "==> scale-circuit generator self-checks"
     cargo test -q --offline -p alsrac-circuits -- multiply_accumulate scale_suite
 
     echo "==> windowed resubstitution gate (bit-exact + live counters)"
-    window_json="$(mktemp -t alsrac_bench_window_XXXXXX.json)"
-    # `all` runs the earlier steps first; keep their temp files in the trap.
-    trap 'rm -f "$window_json" "${bench_json:-}" "${smoke_trace:-}"' EXIT
+    window_json="$(tmpfile alsrac_bench_window_XXXXXX.json)"
     # bench_window --smoke asserts: flow output bit-identical between the
     # windowed and whole-circuit paths on every bundled circuit, and
     # window_extracted > 0 on each windowed run.
     target/release/bench_window --smoke "$window_json"
-    grep -q '"window_extracted": 0[,}]' "$window_json" && {
+    grep -q '"window_extracted": \?0[,}]' "$window_json" && {
         echo "window-smoke: window_extracted is zero" >&2
         exit 1
     }
@@ -131,14 +198,11 @@ run_window_smoke() {
 }
 
 run_cert_smoke() {
-    # Self-contained like the smoke step: build the binaries if invoked alone.
-    cargo build --release --offline -p alsrac-bench --bin bench_cert --bin report
+    ensure_release_build
 
     echo "==> certification gate (Wilson agreement + thread determinism)"
-    cert_t1="$(mktemp -t alsrac_bench_cert1_XXXXXX.json)"
-    cert_t3="$(mktemp -t alsrac_bench_cert3_XXXXXX.json)"
-    # `all` runs the earlier steps first; keep their temp files in the trap.
-    trap 'rm -f "$cert_t1" "$cert_t3" "${window_json:-}" "${bench_json:-}" "${smoke_trace:-}"' EXIT
+    cert_t1="$(tmpfile alsrac_bench_cert1_XXXXXX.json)"
+    cert_t3="$(tmpfile alsrac_bench_cert3_XXXXXX.json)"
     # bench_cert --smoke asserts: every certified error rate agrees with an
     # independent sampled estimate within the Wilson interval, and every
     # WCE-constrained flow result is certified at or below its bound.
@@ -166,29 +230,76 @@ run_fault_smoke() {
     echo "fault-smoke gate passed."
 }
 
+run_serve_smoke() {
+    ensure_release_build
+
+    echo "==> daemon gate (bit-identity + cancel/resume, 1 and 3 workers)"
+    serve_t1="$(tmpfile alsrac_bench_serve1_XXXXXX.json)"
+    serve_t3="$(tmpfile alsrac_bench_serve3_XXXXXX.json)"
+    # bench_serve --smoke asserts in-process: every streamed run_end
+    # bit-identical to a direct flow::run at the same seed, a malformed
+    # line rejected by line number without killing the daemon, and an
+    # in-flight cancel interrupted with a checkpoint flow::resume
+    # completes from.
+    ALSRAC_THREADS=1 target/release/bench_serve --smoke "$serve_t1"
+    ALSRAC_THREADS=3 target/release/bench_serve --smoke "$serve_t3"
+    target/release/report --serve "$serve_t1"
+    target/release/report --serve "$serve_t3"
+
+    echo "==> committed throughput artifact still validates"
+    target/release/report --serve BENCH_serve.json
+
+    echo "==> end-to-end transcript through the real daemon binary"
+    session="$(tmpfile alsrac_serve_session_XXXXXX.jsonl)"
+    printf '%s\n' \
+        '{"op":"submit","circuit":"cla32","metric":"er","threshold":0.05,"seed":1,"max_iterations":5,"measure_rounds":2000}' \
+        'this is not a request' \
+        '{"op":"status"}' \
+        '{"op":"shutdown","mode":"drain"}' \
+        | target/release/alsrac-cli --serve --workers 2 2>/dev/null >"$session"
+    check() {
+        grep -q "$1" "$session" || {
+            echo "serve-smoke: captured session lacks $2" >&2
+            exit 1
+        }
+    }
+    check '"type":"response","op":"submit","ok":true,"job_id":1' "the submit ack"
+    check '"type":"run_end".*"job_id":1' "the job-tagged run_end"
+    check '"type":"error","line":2,' "the line-numbered parse error"
+    check '"type":"job_done","job_id":1,"outcome":"completed"' "the terminal job record"
+    check '"type":"shutdown","reason":"shutdown_request"' "the final shutdown record"
+    # The captured session — responses interleaved with job-tagged flow
+    # records — must itself be a schema-valid trace file.
+    session_summary="$(tmpfile alsrac_serve_summary_XXXXXX.json)"
+    target/release/report "$session" --summary "$session_summary" >/dev/null
+    echo "serve-smoke gate passed."
+}
+
 case "$step" in
-fmt) run_fmt ;;
-clippy) run_clippy ;;
-build) run_build ;;
-test) run_test ;;
-smoke) run_smoke ;;
-bench-smoke) run_bench_smoke ;;
-window-smoke) run_window_smoke ;;
-cert-smoke) run_cert_smoke ;;
-fault-smoke) run_fault_smoke ;;
+fmt) run_step fmt run_fmt ;;
+clippy) run_step clippy run_clippy ;;
+build) run_step build run_build ;;
+test) run_step test run_test ;;
+smoke) run_step smoke run_smoke ;;
+bench-smoke) run_step bench-smoke run_bench_smoke ;;
+window-smoke) run_step window-smoke run_window_smoke ;;
+cert-smoke) run_step cert-smoke run_cert_smoke ;;
+fault-smoke) run_step fault-smoke run_fault_smoke ;;
+serve-smoke) run_step serve-smoke run_serve_smoke ;;
 all)
-    run_fmt
-    run_clippy
-    run_build
-    run_test
-    run_smoke
-    run_bench_smoke
-    run_window_smoke
-    run_cert_smoke
-    run_fault_smoke
+    run_step fmt run_fmt
+    run_step clippy run_clippy
+    run_step build run_build
+    run_step test run_test
+    run_step smoke run_smoke
+    run_step bench-smoke run_bench_smoke
+    run_step window-smoke run_window_smoke
+    run_step cert-smoke run_cert_smoke
+    run_step fault-smoke run_fault_smoke
+    run_step serve-smoke run_serve_smoke
     ;;
 *)
-    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|cert-smoke|fault-smoke|all)" >&2
+    echo "unknown step '$step' (expected fmt|clippy|build|test|smoke|bench-smoke|window-smoke|cert-smoke|fault-smoke|serve-smoke|all)" >&2
     exit 2
     ;;
 esac

@@ -26,7 +26,7 @@
 use std::error::Error;
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use alsrac_suite::aig::Aig;
@@ -34,6 +34,7 @@ use alsrac_suite::circuits::{aiger, blif, catalog};
 use alsrac_suite::core::baseline::{liu, su};
 use alsrac_suite::core::checkpoint::Checkpoint;
 use alsrac_suite::core::flow::{self, run, FlowConfig, FlowOutcome};
+use alsrac_suite::core::serve::{self, CircuitSource, ExitReason, ServeOptions};
 use alsrac_suite::map::cell::{map_cells, Library};
 use alsrac_suite::map::lut::map_luts;
 use alsrac_suite::metrics::{CertStatus, ErrorMetric};
@@ -54,6 +55,9 @@ struct Args {
     sat_propagations: Option<u64>,
     checkpoint: String,
     resume: Option<String>,
+    serve: bool,
+    socket: Option<String>,
+    workers: Option<usize>,
 }
 
 const USAGE: &str = "\
@@ -75,8 +79,17 @@ usage: alsrac-cli [options]
                       (default alsrac_checkpoint.json)
   --resume FILE       continue a previously interrupted run from FILE
                       (requires the same circuit, seed, metric, threshold)
+  --serve             run as a JSONL job daemon on stdin/stdout instead of
+                      a single flow (requests in, responses and streamed
+                      trace records out, one JSON object per line)
+  --socket PATH       with --serve: listen on a Unix socket at PATH and
+                      serve one connection at a time instead of stdio
+  --workers N         with --serve: concurrent job workers (default: the
+                      pool thread count, i.e. ALSRAC_THREADS or the CPU count)
 
 Ctrl-C checkpoints the run to the --checkpoint path and exits 130.
+In --serve mode, Ctrl-C checkpoints running jobs, cancels queued ones,
+emits the final shutdown record, and exits 130.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -95,6 +108,9 @@ fn parse_args() -> Result<Args, String> {
         sat_propagations: None,
         checkpoint: "alsrac_checkpoint.json".to_string(),
         resume: None,
+        serve: false,
+        socket: None,
+        workers: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -144,9 +160,30 @@ fn parse_args() -> Result<Args, String> {
             }
             "--checkpoint" => args.checkpoint = value()?,
             "--resume" => args.resume = Some(value()?),
+            "--serve" => args.serve = true,
+            "--socket" => args.socket = Some(value()?),
+            "--workers" => {
+                let n: usize = value()?.parse().map_err(|e| format!("workers: {e}"))?;
+                if n == 0 {
+                    return Err("workers must be at least 1".to_string());
+                }
+                args.workers = Some(n);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.serve {
+        if args.input.is_some() || args.bench.is_some() {
+            return Err("--serve takes circuits via submit requests, not --input/--bench".into());
+        }
+        if args.output.is_some() || args.resume.is_some() {
+            return Err("--output/--resume do not apply in --serve mode".to_string());
+        }
+        return Ok(args);
+    }
+    if args.socket.is_some() || args.workers.is_some() {
+        return Err("--socket/--workers require --serve".to_string());
     }
     if args.input.is_none() == args.bench.is_none() {
         return Err("exactly one of --input or --bench is required".to_string());
@@ -225,6 +262,114 @@ fn install_sigint_handler() -> CancelToken {
     token
 }
 
+/// Builds the circuit resolver the daemon's shared catalog uses: named
+/// circuits come from the bundled generators (at either scale, with the
+/// large scale-study multipliers also reachable by name), inline text
+/// goes through the BLIF/AIGER parsers.
+fn serve_resolver() -> Box<serve::Resolver> {
+    Box::new(|source: &CircuitSource| match source {
+        CircuitSource::Named { name, scale } => {
+            let scale = match scale.as_str() {
+                "paper" => catalog::Scale::Paper,
+                _ => catalog::Scale::Test,
+            };
+            catalog::by_name(name, scale)
+                .or_else(|| {
+                    catalog::scale_benchmarks()
+                        .into_iter()
+                        .find(|b| b.paper_name == *name)
+                        .map(|b| b.aig)
+                })
+                .ok_or_else(|| format!("unknown benchmark {name:?}"))
+        }
+        CircuitSource::Blif(text) => blif::parse(text).map_err(|e| e.to_string()),
+        CircuitSource::Aag(text) => aiger::parse_ascii(text).map_err(|e| e.to_string()),
+    })
+}
+
+/// Runs the daemon over stdio or a Unix socket until shutdown. Returns
+/// exit code 130 when SIGINT stopped the session (mirroring the
+/// single-flow checkpoint path).
+fn run_serve(args: &Args) -> Result<ExitCode, Box<dyn Error>> {
+    let stop = install_sigint_handler();
+    let catalog = Arc::new(serve::Catalog::new(serve_resolver()));
+    let mut options = ServeOptions::default();
+    if let Some(n) = args.workers {
+        options.workers = n;
+    }
+    let reason = match &args.socket {
+        Some(path) => serve_socket(path, &catalog, &options, &stop)?,
+        None => {
+            eprintln!(
+                "alsrac-cli: serving JSONL on stdin/stdout ({} workers)",
+                options.workers
+            );
+            let reader = std::io::BufReader::new(std::io::stdin());
+            serve::serve(reader, std::io::stdout(), catalog, &options, Some(stop)).reason
+        }
+    };
+    Ok(match reason {
+        ExitReason::StopRequested => ExitCode::from(130),
+        _ => ExitCode::SUCCESS,
+    })
+}
+
+/// Accepts connections on a Unix socket one at a time, running a serve
+/// session per connection, until a client sends `shutdown` or SIGINT
+/// arrives. A client hanging up (EOF) just ends its session; the daemon
+/// keeps listening.
+fn serve_socket(
+    path: &str,
+    catalog: &Arc<serve::Catalog>,
+    options: &ServeOptions,
+    stop: &CancelToken,
+) -> Result<ExitReason, Box<dyn Error>> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a crashed daemon would make bind fail.
+    if std::fs::metadata(path).is_ok() {
+        std::fs::remove_file(path).map_err(|e| format!("cannot replace socket {path}: {e}"))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path}: {e}"))?;
+    // Non-blocking accept so SIGINT is noticed between connections too.
+    listener.set_nonblocking(true)?;
+    eprintln!(
+        "alsrac-cli: serving JSONL on {path} ({} workers)",
+        options.workers
+    );
+    let reason = loop {
+        if stop.is_tripped() {
+            break ExitReason::StopRequested;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false)?;
+                let writer = stream.try_clone()?;
+                let reader = std::io::BufReader::new(stream);
+                let summary = serve::serve(
+                    reader,
+                    writer,
+                    Arc::clone(catalog),
+                    options,
+                    Some(stop.clone()),
+                );
+                match summary.reason {
+                    // EOF just means this client hung up; wait for the next.
+                    ExitReason::InputClosed => continue,
+                    other => break other,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("accept on {path} failed: {e}").into()),
+        }
+    };
+    let _ = std::fs::remove_file(path);
+    Ok(reason)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -246,6 +391,11 @@ fn main() -> ExitCode {
 }
 
 fn real_main(args: &Args) -> Result<ExitCode, Box<dyn Error>> {
+    if args.serve {
+        // The daemon owns the trace sink (streamed records ARE the
+        // protocol), so ALSRAC_TRACE does not apply here.
+        return run_serve(args);
+    }
     if let Some(path) = alsrac_suite::rt::trace::init_from_env()? {
         eprintln!("tracing to {path} (ALSRAC_TRACE)");
     }
