@@ -96,6 +96,7 @@ const KNOWN_COUNTERS: &[&str] = &[
     "sim_words_saved",
     "influence_words_computed",
     "influence_early_exits",
+    "influence_quenched_nodes",
     "influences_computed",
     "influence_cache_hits",
     "lacs_scored",
@@ -119,6 +120,7 @@ const KNOWN_COUNTERS: &[&str] = &[
     "serve_jobs_cancelled",
     "serve_jobs_failed",
     "serve_lines_rejected",
+    "serve_cache_hits",
 ];
 
 /// The record types a trace may contain, with their required fields (see
@@ -318,6 +320,10 @@ fn validate_record(rec: &Json) -> Result<(), String> {
                 "ands",
             ] {
                 need_u64(key)?;
+            }
+            // Cache replays carry a bool marker; it is omitted when false.
+            if let Some(v) = rec.get("cache_hit") {
+                v.as_bool().ok_or("job_done: \"cache_hit\" is not a bool")?;
             }
             match need_str("outcome")? {
                 "completed" | "cancelled" => {}
@@ -1498,6 +1504,8 @@ mod tests {
             r#"{"type":"status","queued":1,"running":2,"done":3}"#,
             r#"{"type":"job_done","job_id":1,"outcome":"completed","queue_ns":5,
 "run_ns":10,"queue_depth":0,"iterations":3,"applied":1,"ands":40}"#,
+            r#"{"type":"job_done","job_id":3,"outcome":"completed","cache_hit":true,
+"queue_ns":5,"run_ns":0,"queue_depth":0,"iterations":3,"applied":1,"ands":40}"#,
             r#"{"type":"job_done","job_id":2,"outcome":"interrupted",
 "interrupt_reason":"cancelled","checkpoint":"{}","queue_ns":5,"run_ns":10,
 "queue_depth":0,"iterations":3,"applied":1,"ands":40}"#,

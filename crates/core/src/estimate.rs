@@ -13,9 +13,14 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use alsrac_aig::{Aig, FanoutMap, NodeId};
-use alsrac_metrics::{compare_output_words, ErrorMetric, Measurement};
+use alsrac_metrics::{
+    compare_flipped_error_rate, compare_flipped_output_words, compare_output_words, ErrorMetric,
+    Measurement,
+};
 use alsrac_rt::{pool, trace};
-use alsrac_sim::{FlipInfluence, InfluenceScratch, OutputWords, PatternBuffer, Simulation};
+use alsrac_sim::{
+    FlipInfluence, InfluenceScratch, OutputIndex, OutputWords, PatternBuffer, Simulation,
+};
 use alsrac_truthtable::Sop;
 
 use crate::lac::Lac;
@@ -35,7 +40,17 @@ pub struct Estimator<'a> {
     original_outputs: Cow<'a, OutputWords>,
     current_outputs: OutputWords,
     masks: Vec<u64>,
+    /// Node → driven outputs, built once per snapshot so the fused
+    /// influence pass can skip the per-candidate all-outputs scan.
+    output_index: OutputIndex,
     full_influence: bool,
+    /// Precomputed per-word base mismatch columns + total error-lane
+    /// count, set by [`Estimator::for_metric`] when ranking by
+    /// [`ErrorMetric::ErrorRate`]. Present → per-candidate comparisons
+    /// take the sparse rate-only path
+    /// ([`alsrac_metrics::compare_flipped_error_rate`]) that only pays
+    /// for the words a candidate actually flips.
+    rate_base: Option<(Vec<u64>, u64)>,
 }
 
 impl<'a> Estimator<'a> {
@@ -110,6 +125,7 @@ impl<'a> Estimator<'a> {
     ) -> Estimator<'a> {
         let current_outputs = sim.output_words(current);
         let masks = patterns.word_masks();
+        let output_index = OutputIndex::new(current);
         Estimator {
             current,
             patterns,
@@ -118,7 +134,9 @@ impl<'a> Estimator<'a> {
             original_outputs,
             current_outputs,
             masks,
+            output_index,
             full_influence: false,
+            rate_base: None,
         }
     }
 
@@ -128,6 +146,29 @@ impl<'a> Estimator<'a> {
     /// compare the two engines' work counters.
     pub fn with_full_influence(mut self) -> Estimator<'a> {
         self.full_influence = true;
+        self
+    }
+
+    /// Tailors per-candidate comparisons to the metric being ranked:
+    /// [`ErrorMetric::ErrorRate`] never reads the distance metrics, so
+    /// the default engine switches to a sparse rate-only compare — the
+    /// base mismatch columns are precomputed once per snapshot
+    /// (`O(outputs × words)`) and each candidate then costs
+    /// `O(words + outputs × dirty_words)`, where dirty words are those
+    /// its flips actually reach. `error_rate` stays bit-identical; the
+    /// unread distance metrics come back as `None`. Distance metrics keep
+    /// the full fused decode, and the full-influence baseline always
+    /// keeps the historical materialize-then-compare shape.
+    pub fn for_metric(mut self, metric: ErrorMetric) -> Estimator<'a> {
+        self.rate_base = if metric.needs_distance() {
+            None
+        } else {
+            Some(alsrac_metrics::base_diff_columns(
+                &self.original_outputs,
+                &self.current_outputs,
+                &self.masks,
+            ))
+        };
         self
     }
 
@@ -173,6 +214,12 @@ impl<'a> Estimator<'a> {
 
     /// Estimates the full error measurement of applying one LAC to the
     /// current circuit, relative to the original circuit.
+    ///
+    /// The default engine compares through the fused single-pass kernel
+    /// ([`compare_flipped_output_words`]); the full-influence baseline
+    /// keeps the historical materialize-then-compare shape so `bench_sim`
+    /// measures the old engine as it was. Both produce bit-identical
+    /// measurements.
     pub fn estimate(&self, lac: &Lac, influence: &FlipInfluence) -> Measurement {
         debug_assert_eq!(
             influence.node(),
@@ -180,10 +227,32 @@ impl<'a> Estimator<'a> {
             "influence/LAC node mismatch"
         );
         let change = self.change_mask(lac);
-        let candidate_outputs = influence.apply(&self.current_outputs, &change);
-        compare_output_words(
+        if self.full_influence {
+            let candidate_outputs = influence.apply(&self.current_outputs, &change);
+            return compare_output_words(
+                &self.original_outputs,
+                &candidate_outputs,
+                &self.masks,
+                self.patterns.num_patterns(),
+            );
+        }
+        if let Some((base_diff, base_lanes)) = &self.rate_base {
+            return compare_flipped_error_rate(
+                &self.original_outputs,
+                &self.current_outputs,
+                influence,
+                &change,
+                &self.masks,
+                self.patterns.num_patterns(),
+                base_diff,
+                *base_lanes,
+            );
+        }
+        compare_flipped_output_words(
             &self.original_outputs,
-            &candidate_outputs,
+            &self.current_outputs,
+            influence,
+            &change,
             &self.masks,
             self.patterns.num_patterns(),
         )
@@ -222,9 +291,17 @@ impl<'a> Estimator<'a> {
             // One scratch arena per worker: allocation-free propagation in
             // steady state, and since each influence is a pure function of
             // the shared simulation, placement by index keeps the result
-            // bit-identical at any thread count.
+            // bit-identical at any thread count. Touched outputs are
+            // discovered during the propagation walk itself (fused).
             pool::par_map_init(&nodes, InfluenceScratch::new, |scratch, &node| {
-                FlipInfluence::compute_with(self.current, &self.sim, self.fanouts, node, scratch)
+                FlipInfluence::compute_fused(
+                    self.current,
+                    &self.sim,
+                    self.fanouts,
+                    &self.output_index,
+                    node,
+                    scratch,
+                )
             })
         };
         pool::par_map(lacs, |lac| {

@@ -559,7 +559,8 @@ fn run_from(
                 &current,
                 est_patterns,
                 &fanouts,
-            ),
+            )
+            .for_metric(config.metric),
             // Baseline engine: full re-simulation of both circuits and
             // full-TFO-cone influence masks, every iteration.
             None => {
@@ -684,12 +685,16 @@ fn run_from(
         // Cone-local resimulation: only nodes in the substitution's TFO are
         // re-evaluated; everything else is copied from the carried
         // simulation. This must happen before `current` is replaced because
-        // the estimator borrows it until consumed.
+        // the estimator borrows it until consumed. The span is part of the
+        // incremental engine's cost (zero-work under `full_resim`), so
+        // engine benchmarks charge it alongside `estimate`.
+        let sim_update_span = trace::span("sim_update");
         let new_sim = delta.map(|delta| {
             estimator
                 .into_simulation()
                 .update(&applied_aig, &delta, est_patterns)
         });
+        let sim_update_ns = sim_update_span.finish();
         current = applied_aig;
         fanouts = current.fanout_map();
         over_streak = 0;
@@ -734,6 +739,7 @@ fn run_from(
                             .u64("lac_gen", lac_ns)
                             .u64("estimate", est_ns)
                             .u64("apply", apply_ns)
+                            .u64("sim_update", sim_update_ns)
                             .u64("optimize", opt_ns),
                     ),
             );

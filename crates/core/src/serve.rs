@@ -589,6 +589,12 @@ pub struct JobDone {
     /// opaque string, so the hex-encoded seed round-trips byte-exactly).
     /// Present exactly when the outcome is interrupted.
     pub checkpoint: Option<String>,
+    /// True when this record replays a previously completed job with the
+    /// same `(circuit, canonical config)` key instead of re-running the
+    /// flow. Replayed records carry the original run's results but their
+    /// own `job_id`/`queue_ns` (and `run_ns` 0). Omitted from the wire
+    /// when false.
+    pub cache_hit: bool,
 }
 
 /// Session totals, written as the final `shutdown` record and returned
@@ -713,6 +719,9 @@ impl Response {
                 if let Some(checkpoint) = &done.checkpoint {
                     obj = obj.str("checkpoint", checkpoint);
                 }
+                if done.cache_hit {
+                    obj = obj.bool("cache_hit", true);
+                }
                 obj
             }
             Response::LineError { line, message } => Obj::new()
@@ -799,6 +808,7 @@ impl Response {
                     applied: require_u64("applied")?,
                     ands: require_u64("ands")?,
                     checkpoint: field_str(map, "checkpoint")?.map(str::to_string),
+                    cache_hit: field_bool(map, "cache_hit")?.unwrap_or(false),
                 }))
             }
             "error" => Ok(Response::LineError {
@@ -959,6 +969,12 @@ struct State {
     queued: u64,
     done: u64,
     totals: SessionTotals,
+    /// Terminal records of *completed* jobs, keyed by
+    /// `(circuit identity, canonical config)`: a repeat submit replays the
+    /// stored record instead of re-running the flow. Only completions are
+    /// cached — interrupted/failed/cancelled outcomes depend on budgets
+    /// and timing, so a retry must actually retry.
+    cache: BTreeMap<String, JobDone>,
     /// No more jobs will arrive; workers exit once the queue is empty.
     stopping: bool,
 }
@@ -1207,7 +1223,46 @@ fn cancelled_job(job_id: u64, queue_ns: u64) -> JobDone {
         applied: 0,
         ands: 0,
         checkpoint: None,
+        cache_hit: false,
     }
+}
+
+/// FNV-1a 64 over a byte string (inline circuit texts are keyed by hash so
+/// the cache map does not hold a second copy of every submitted netlist).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The result-cache key of a submit: circuit identity plus every
+/// result-relevant config field. `priority` is deliberately excluded — it
+/// affects *when* a job runs, never what it computes. Thresholds and
+/// deadlines are keyed by their exact bit patterns so no two distinct
+/// configs ever collide.
+fn cache_key(spec: &SubmitRequest) -> String {
+    let source = match &spec.source {
+        CircuitSource::Named { name, scale } => format!("named/{scale}/{name}"),
+        CircuitSource::Blif(text) => format!("blif/{:016x}", fnv1a(text.as_bytes())),
+        CircuitSource::Aag(text) => format!("aag/{:016x}", fnv1a(text.as_bytes())),
+    };
+    format!(
+        "{source}|{}|{:016x}|{}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        metric_to_wire(spec.metric),
+        spec.threshold.to_bits(),
+        spec.seed,
+        spec.max_iterations,
+        spec.measure_rounds,
+        spec.certify,
+        spec.window,
+        spec.window_max_tfi,
+        spec.deadline_secs.map(f64::to_bits),
+        spec.sat_conflicts,
+        spec.sat_propagations,
+    )
 }
 
 fn elapsed_ns(since: Instant) -> u64 {
@@ -1279,7 +1334,35 @@ fn worker_loop<W: Write>(shared: &Shared, catalog: &Catalog, output: &Output<W>)
             }
         };
         let job_id = entry.job_id;
-        let done = execute_job(&entry, enqueued, depth, token, catalog);
+        // Cache lookup happens *after* the claim so the job went through
+        // normal queue accounting (priority order, cancel-in-queue
+        // tombstones, queue_ns) whether or not it replays.
+        let key = cache_key(&entry.spec);
+        let cached = {
+            let state = shared.state.lock().expect("serve state");
+            state.cache.get(&key).cloned()
+        };
+        let done = match cached {
+            Some(hit) => {
+                trace::add("serve_cache_hits", 1);
+                JobDone {
+                    job_id,
+                    queue_ns: elapsed_ns(enqueued),
+                    run_ns: 0,
+                    queue_depth: depth,
+                    cache_hit: true,
+                    ..hit
+                }
+            }
+            None => {
+                let done = execute_job(&entry, enqueued, depth, token, catalog);
+                if done.outcome == JobOutcome::Completed {
+                    let mut state = shared.state.lock().expect("serve state");
+                    state.cache.insert(key, done.clone());
+                }
+                done
+            }
+        };
         {
             let mut state = shared.state.lock().expect("serve state");
             state.running.remove(&job_id);
@@ -1352,6 +1435,7 @@ fn execute_job(
                 applied: result.applied as u64,
                 ands: result.approx.num_ands() as u64,
                 checkpoint,
+                cache_hit: false,
             }
         }
         Err(error) => JobDone {
@@ -1364,6 +1448,7 @@ fn execute_job(
             applied: 0,
             ands: 0,
             checkpoint: None,
+            cache_hit: false,
         },
     }
 }
@@ -1621,6 +1706,19 @@ mod tests {
                 applied: 7,
                 ands: 33,
                 checkpoint: None,
+                cache_hit: false,
+            }),
+            Response::JobDone(JobDone {
+                job_id: 10,
+                outcome: JobOutcome::Completed,
+                queue_ns: 500,
+                run_ns: 0,
+                queue_depth: 1,
+                iterations: 12,
+                applied: 7,
+                ands: 33,
+                checkpoint: None,
+                cache_hit: true,
             }),
             Response::JobDone(JobDone {
                 job_id: 7,
@@ -1634,6 +1732,7 @@ mod tests {
                 applied: 1,
                 ands: 40,
                 checkpoint: Some("{\"version\": 1}".to_string()),
+                cache_hit: false,
             }),
             Response::JobDone(cancelled_job(8, 55)),
             Response::JobDone(JobDone {
@@ -1648,6 +1747,7 @@ mod tests {
                 applied: 0,
                 ands: 0,
                 checkpoint: None,
+                cache_hit: false,
             }),
             Response::LineError {
                 line: 4,

@@ -1,0 +1,131 @@
+//! Property suite for the fused estimation pass.
+//!
+//! [`Estimator::estimate_all`] evaluates every LAC candidate through the
+//! fused single-pass kernel: influence rows are built during the flip
+//! propagation walk and compared against the reference outputs without
+//! materializing candidate output words. The pre-fusion engine — full-TFO
+//! influence plus materialize-then-compare — survives behind
+//! [`Estimator::with_full_influence`] as the baseline `bench_sim` measures
+//! against. The two must produce **bit-identical** `f64` measurements:
+//! the flow's apply/stop decisions compare estimates against thresholds,
+//! so even one ULP of drift could change which LAC lands.
+//!
+//! This test pins that equivalence on an evolving circuit: it repeatedly
+//! generates candidates, cross-checks both engines at 1, 3, and 7 worker
+//! threads, then actually applies a LAC and re-checks on the rebuilt graph
+//! (estimates are always relative to the *original* circuit, so later
+//! rounds also exercise non-zero accumulated baseline error).
+
+use alsrac::estimate::Estimator;
+use alsrac::lac::{generate_lacs, LacConfig};
+use alsrac_circuits::arith;
+use alsrac_metrics::{ErrorMetric, Measurement};
+use alsrac_rt::pool;
+use alsrac_sim::{PatternBuffer, Simulation};
+
+fn assert_bit_identical(a: &Measurement, b: &Measurement, what: &str) {
+    assert_eq!(a.num_patterns, b.num_patterns, "{what}: num_patterns");
+    assert_eq!(
+        a.error_rate.to_bits(),
+        b.error_rate.to_bits(),
+        "{what}: error_rate {} vs {}",
+        a.error_rate,
+        b.error_rate
+    );
+    assert_eq!(
+        a.nmed.map(f64::to_bits),
+        b.nmed.map(f64::to_bits),
+        "{what}: nmed"
+    );
+    assert_eq!(
+        a.mred.map(f64::to_bits),
+        b.mred.map(f64::to_bits),
+        "{what}: mred"
+    );
+    assert_eq!(
+        a.max_error_distance, b.max_error_distance,
+        "{what}: max_error_distance"
+    );
+}
+
+#[test]
+fn fused_estimates_match_the_full_influence_baseline_across_lac_applies_and_threads() {
+    let original = arith::ripple_carry_adder(3);
+    let mut current = original.clone();
+    // 200 patterns -> 4 words: a full batch for the kernel plus a masked
+    // partial final word for the compare loops.
+    let est_patterns = PatternBuffer::random(original.num_inputs(), 200, 23);
+
+    let mut rounds_checked = 0usize;
+    for round in 0..3u64 {
+        let fanouts = current.fanout_map();
+        let care_patterns = PatternBuffer::random(current.num_inputs(), 8, 5 + round);
+        let care_sim = Simulation::new(&current, &care_patterns);
+        let lacs = generate_lacs(
+            &current,
+            &care_sim,
+            &care_patterns,
+            &fanouts,
+            &LacConfig {
+                lac_limit: 3,
+                ..LacConfig::default()
+            },
+        );
+        if lacs.is_empty() {
+            break;
+        }
+
+        let fused = Estimator::new(&original, &current, &est_patterns, &fanouts);
+        let baseline =
+            Estimator::new(&original, &current, &est_patterns, &fanouts).with_full_influence();
+        // The flow's production ErrorRate engine: sparse rate-only compare
+        // against precomputed base mismatch columns.
+        let rate = Estimator::new(&original, &current, &est_patterns, &fanouts)
+            .for_metric(ErrorMetric::ErrorRate);
+        let reference = pool::with_threads(1, || baseline.estimate_all(&lacs));
+        for threads in [1usize, 3, 7] {
+            let got = pool::with_threads(threads, || fused.estimate_all(&lacs));
+            assert_eq!(got.len(), reference.len());
+            for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+                let what = format!("round {round}, {threads} threads, lac {i}");
+                assert_bit_identical(g, r, &what);
+            }
+            // The baseline engine must itself be thread-count invariant.
+            let base_again = pool::with_threads(threads, || baseline.estimate_all(&lacs));
+            for (i, (g, r)) in base_again.iter().zip(&reference).enumerate() {
+                let what = format!("baseline round {round}, {threads} threads, lac {i}");
+                assert_bit_identical(g, r, &what);
+            }
+            // Rate-only engine: bit-identical error_rate, distance metrics
+            // deliberately unpopulated (ErrorRate ranking never reads them).
+            let rate_got = pool::with_threads(threads, || rate.estimate_all(&lacs));
+            assert_eq!(rate_got.len(), reference.len());
+            for (i, (g, r)) in rate_got.iter().zip(&reference).enumerate() {
+                let what = format!("rate round {round}, {threads} threads, lac {i}");
+                assert_eq!(g.num_patterns, r.num_patterns, "{what}: num_patterns");
+                assert_eq!(
+                    g.error_rate.to_bits(),
+                    r.error_rate.to_bits(),
+                    "{what}: error_rate {} vs {}",
+                    g.error_rate,
+                    r.error_rate
+                );
+                assert_eq!(g.nmed, None, "{what}: nmed must be skipped");
+                assert_eq!(g.mred, None, "{what}: mred must be skipped");
+                assert_eq!(
+                    g.max_error_distance, None,
+                    "{what}: max_error_distance must be skipped"
+                );
+            }
+        }
+        rounds_checked += 1;
+
+        // Apply a real LAC so the next round estimates on a structurally
+        // changed circuit with accumulated error against the original.
+        current = lacs[0].apply(&current).expect("LAC applies without cycle");
+    }
+    assert!(
+        rounds_checked >= 2,
+        "only {rounds_checked} rounds produced candidates — the apply loop is vacuous"
+    );
+}

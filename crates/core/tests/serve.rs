@@ -350,3 +350,107 @@ fn sat_starved_certification_job_degrades_instead_of_hanging() {
         "the streamed run_end must carry the degraded certificate"
     );
 }
+
+// -----------------------------------------------------------------------
+// 4. Result cache: a repeat submit replays the stored terminal record
+
+#[test]
+fn repeat_submit_replays_the_cached_terminal_record() {
+    let _guard = lock();
+    let spec = job("rca4", 11, ErrorMetric::ErrorRate, 0.15);
+    let session = start(1);
+    let watch = session.out.watch();
+
+    session.submit(&spec);
+    let first = wait(&watch, "job 1 terminal record", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(1)
+    });
+    // Identical spec again: must replay from the cache without re-running.
+    session.submit(&spec);
+    let second = wait(&watch, "job 2 terminal record", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(2)
+    });
+    // Same circuit, different seed: a distinct config must re-run.
+    let mut reseeded = spec.clone();
+    reseeded.seed = 12;
+    session.submit(&reseeded);
+    let third = wait(&watch, "job 3 terminal record", |r| {
+        record_type(r) == "job_done" && job_id(r) == Some(3)
+    });
+    let (summary, records) = session.shut_down();
+
+    assert_eq!(
+        first.get("cache_hit"),
+        None,
+        "the first run is a miss; cache_hit is omitted from the wire when false"
+    );
+    assert_eq!(
+        second.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "the repeat submit must be served from the cache"
+    );
+    assert_eq!(
+        second.get("run_ns").and_then(Json::as_u64),
+        Some(0),
+        "a replayed job reports zero run time"
+    );
+    for key in ["outcome", "iterations", "applied", "ands"] {
+        assert_eq!(second.get(key), first.get(key), "replayed field {key:?}");
+    }
+    assert_eq!(
+        third.get("cache_hit"),
+        None,
+        "a reseeded config must re-run"
+    );
+
+    // The replayed job never entered the flow: three completed jobs but
+    // only two run_end records.
+    let run_ends = records
+        .iter()
+        .filter(|r| record_type(r) == "run_end")
+        .count();
+    assert_eq!(run_ends, 2, "cache hits must not re-run the flow");
+    assert_eq!(summary.totals.completed, 3);
+
+    let totals = records
+        .iter()
+        .find(|r| record_type(r) == "totals")
+        .expect("daemon emits a totals record at shutdown");
+    assert_eq!(
+        totals
+            .get("counters")
+            .and_then(|c| c.get("serve_cache_hits"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "exactly one cache hit must be counted"
+    );
+}
+
+#[test]
+fn failed_jobs_are_not_cached() {
+    let _guard = lock();
+    let spec = job("no_such_circuit", 1, ErrorMetric::ErrorRate, 0.1);
+    let session = start(1);
+    let watch = session.out.watch();
+    session.submit(&spec);
+    session.submit(&spec);
+    let mut outcomes = Vec::new();
+    for id in [1, 2] {
+        let done = wait(&watch, "terminal record", |r| {
+            record_type(r) == "job_done" && job_id(r) == Some(id)
+        });
+        assert_eq!(
+            done.get("cache_hit"),
+            None,
+            "job {id}: only completed jobs populate the cache"
+        );
+        outcomes.push(
+            done.get("outcome")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
+        );
+    }
+    let (summary, _) = session.shut_down();
+    assert_eq!(outcomes, vec![Some("failed".into()), Some("failed".into())]);
+    assert_eq!(summary.totals.failed, 2);
+}

@@ -46,7 +46,7 @@ use std::fmt;
 
 use alsrac_aig::Aig;
 use alsrac_rt::{derive_indexed, pool, trace, Stream};
-use alsrac_sim::{OutputWords, PatternBuffer, Simulation};
+use alsrac_sim::{FlipInfluence, OutputWords, PatternBuffer, Simulation};
 
 /// Which error metric a flow is constrained by.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -61,6 +61,17 @@ pub enum ErrorMetric {
     /// (an absolute bound, not a probability — per Meng et al.'s
     /// maximum-error-constrained ALS).
     Wce,
+}
+
+impl ErrorMetric {
+    /// Whether evaluating this metric requires decoding output lanes to
+    /// integer error distances. [`ErrorMetric::ErrorRate`] only counts
+    /// mismatching lanes, so estimators ranking by it can skip the
+    /// per-lane decode entirely — the dominant per-candidate cost on
+    /// multi-output circuits.
+    pub fn needs_distance(self) -> bool {
+        !matches!(self, ErrorMetric::ErrorRate)
+    }
 }
 
 impl fmt::Display for ErrorMetric {
@@ -246,6 +257,216 @@ pub fn compare_output_words(
         };
     }
     count_output_words(exact, approx, masks, num_patterns).finalize(exact.num_outputs())
+}
+
+/// Precomputes the per-word union of output differences between `exact`
+/// and `base`: `diff[w] = OR over outputs of (exact[po][w] ^ base[po][w])`,
+/// plus the total masked mismatch-lane count. One `O(outputs × words)`
+/// sweep, done once per circuit snapshot so
+/// [`compare_flipped_error_rate`] can charge each candidate only for the
+/// words it actually changes.
+pub fn base_diff_columns(
+    exact: &OutputWords,
+    base: &OutputWords,
+    masks: &[u64],
+) -> (Vec<u64>, u64) {
+    assert_eq!(
+        exact.num_outputs(),
+        base.num_outputs(),
+        "output count mismatch"
+    );
+    let num_outputs = exact.num_outputs();
+    let mut columns = vec![0u64; masks.len()];
+    let mut error_lanes = 0u64;
+    for (w, (slot, &word_mask)) in columns.iter_mut().zip(masks).enumerate() {
+        let mut diff = 0u64;
+        for po in 0..num_outputs {
+            diff |= exact.word(po, w) ^ base.word(po, w);
+        }
+        *slot = diff;
+        error_lanes += (diff & word_mask).count_ones() as u64;
+    }
+    (columns, error_lanes)
+}
+
+/// Error-rate-only comparison of a *virtually flipped* candidate against
+/// the exact outputs, in time proportional to the words the flip actually
+/// touches rather than `outputs × words`.
+///
+/// `(base_diff, base_error_lanes)` must come from
+/// [`base_diff_columns`]`(exact, base, masks)`. A candidate's outputs
+/// differ from `base` only on words where some influence row intersects
+/// `change`; on every other word the mismatch column — and hence its lane
+/// count — is exactly the precomputed base one. The error count is
+/// adjusted per dirty word with integer arithmetic, so `error_rate` is
+/// **bit-identical** to the full [`compare_flipped_output_words`] /
+/// materialize-then-compare result. Distance metrics are reported as
+/// `None`; use this only when ranking by [`ErrorMetric::ErrorRate`]
+/// (which never reads them — see [`ErrorMetric::needs_distance`]).
+///
+/// # Panics
+///
+/// Panics if the output counts or word shapes disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_flipped_error_rate(
+    exact: &OutputWords,
+    base: &OutputWords,
+    influence: &FlipInfluence,
+    change: &[u64],
+    masks: &[u64],
+    num_patterns: usize,
+    base_diff: &[u64],
+    base_error_lanes: u64,
+) -> Measurement {
+    assert_eq!(
+        exact.num_outputs(),
+        base.num_outputs(),
+        "output count mismatch"
+    );
+    assert_eq!(
+        base.num_outputs(),
+        influence.num_outputs(),
+        "output count mismatch"
+    );
+    assert_eq!(base_diff.len(), masks.len(), "word shape mismatch");
+    if num_patterns == 0 {
+        return Measurement {
+            num_patterns: 0,
+            error_rate: 0.0,
+            nmed: None,
+            mred: None,
+            max_error_distance: None,
+        };
+    }
+    let num_outputs = exact.num_outputs();
+    let touched = influence.touched();
+    let any = influence.any_mask();
+    let mut error_lanes = base_error_lanes;
+    for (w, &word_mask) in masks.iter().enumerate() {
+        let cw = change[w];
+        if any[w] & cw == 0 {
+            continue; // no output flips in this word: base column stands
+        }
+        // Rebuild this word's mismatch column with the flips applied
+        // (rising-cursor merge over the sparse ascending touched set).
+        let mut cursor = 0usize;
+        let mut diff = 0u64;
+        for po in 0..num_outputs {
+            let mut a = base.word(po, w);
+            if touched.get(cursor).is_some_and(|&t| t as usize == po) {
+                a ^= influence.row(cursor)[w] & cw;
+                cursor += 1;
+            }
+            diff |= exact.word(po, w) ^ a;
+        }
+        error_lanes -= (base_diff[w] & word_mask).count_ones() as u64;
+        error_lanes += (diff & word_mask).count_ones() as u64;
+    }
+    Measurement {
+        num_patterns,
+        error_rate: error_lanes as f64 / num_patterns as f64,
+        nmed: None,
+        mred: None,
+        max_error_distance: None,
+    }
+}
+
+/// Compares an exact circuit's output words against a *virtually flipped*
+/// approximate circuit: the candidate outputs are
+/// `base[po] ^ (influence[po] & change)` (see [`FlipInfluence::apply`]),
+/// but instead of materializing them this walks word-major and evaluates
+/// one output column per word — each word of `base` and of the influence
+/// rows is loaded exactly once and feeds both the error-rate union and the
+/// distance decode while still hot.
+///
+/// This is the fused form of `compare_output_words(exact,
+/// influence.apply(base, change), ..)` that the estimator's hot path uses:
+/// it skips the per-candidate `OutputWords` clone + second sweep, and its
+/// result is bit-identical (same touched rows, and the floating-point
+/// distance sums accumulate in the same word-ascending, lane-ascending
+/// order — pinned by property tests).
+///
+/// # Panics
+///
+/// Panics if the output counts or word shapes disagree.
+pub fn compare_flipped_output_words(
+    exact: &OutputWords,
+    base: &OutputWords,
+    influence: &FlipInfluence,
+    change: &[u64],
+    masks: &[u64],
+    num_patterns: usize,
+) -> Measurement {
+    assert_eq!(
+        exact.num_outputs(),
+        base.num_outputs(),
+        "output count mismatch"
+    );
+    assert_eq!(
+        base.num_outputs(),
+        influence.num_outputs(),
+        "output count mismatch"
+    );
+    if num_patterns == 0 {
+        return Measurement {
+            num_patterns: 0,
+            error_rate: 0.0,
+            nmed: Some(0.0),
+            mred: Some(0.0),
+            max_error_distance: Some(0),
+        };
+    }
+    let num_outputs = exact.num_outputs();
+    let touched = influence.touched();
+    let decode = num_outputs <= 63;
+    // One column of candidate output words, rebuilt per word. The single
+    // small allocation replaces apply()'s full outputs × words clone.
+    let mut approx_col = vec![0u64; num_outputs];
+    let mut error_lanes = 0u64;
+    let mut sum_ed = 0.0f64;
+    let mut sum_red = 0.0f64;
+    let mut max_ed = 0u64;
+    for (w, &word_mask) in masks.iter().enumerate() {
+        let cw = change[w];
+        // Influence rows are sparse and ascending by output index: merge
+        // against them with one rising cursor instead of a search per
+        // output. Untouched outputs pass the base value through.
+        let mut cursor = 0usize;
+        let mut diff = 0u64;
+        for (po, slot) in approx_col.iter_mut().enumerate() {
+            let mut a = base.word(po, w);
+            if touched.get(cursor).is_some_and(|&t| t as usize == po) {
+                a ^= influence.row(cursor)[w] & cw;
+                cursor += 1;
+            }
+            diff |= exact.word(po, w) ^ a;
+            *slot = a;
+        }
+        error_lanes += (diff & word_mask).count_ones() as u64;
+        if decode {
+            let mut mask = word_mask;
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let mut y = 0u64;
+                let mut yh = 0u64;
+                for (po, &col) in approx_col.iter().enumerate() {
+                    y |= (exact.word(po, w) >> lane & 1) << po;
+                    yh |= (col >> lane & 1) << po;
+                }
+                let ed = y.abs_diff(yh);
+                max_ed = max_ed.max(ed);
+                sum_ed += ed as f64;
+                sum_red += ed as f64 / (y.max(1)) as f64;
+            }
+        }
+    }
+    PartialCounts {
+        patterns: num_patterns,
+        error_lanes,
+        distance: decode.then_some((sum_ed, sum_red, max_ed)),
+    }
+    .finalize(num_outputs)
 }
 
 /// Raw error counts of one comparison (or one pattern block of a blocked
@@ -657,6 +878,148 @@ mod tests {
         assert_eq!(ErrorMetric::ErrorRate.to_string(), "ER");
         assert_eq!(ErrorMetric::Nmed.to_string(), "NMED");
         assert_eq!(ErrorMetric::Mred.to_string(), "MRED");
+    }
+
+    #[test]
+    fn fused_compare_matches_apply_then_compare() {
+        // The fused single-pass comparison must reproduce the two-pass
+        // apply() + compare_output_words() result bit-for-bit, including
+        // the floating-point distance sums, for every node's influence and
+        // random change masks (ragged final word included).
+        let exact_aig = alsrac_circuits::arith::ripple_carry_adder(3);
+        let patterns = PatternBuffer::random(6, 200, 17);
+        let sim = Simulation::new(&exact_aig, &patterns);
+        let fanouts = exact_aig.fanout_map();
+        let exact_out = sim.output_words(&exact_aig);
+        let masks = patterns.word_masks();
+        let mut rng = alsrac_rt::Rng::from_seed(23);
+        for node in exact_aig.iter_ands() {
+            let inf = FlipInfluence::compute(&exact_aig, &sim, &fanouts, node);
+            let change: Vec<u64> = (0..sim.num_words()).map(|_| rng.next_u64()).collect();
+            let applied = inf.apply(&exact_out, &change);
+            let want = compare_output_words(&exact_out, &applied, &masks, patterns.num_patterns());
+            let got = compare_flipped_output_words(
+                &exact_out,
+                &exact_out,
+                &inf,
+                &change,
+                &masks,
+                patterns.num_patterns(),
+            );
+            assert_eq!(want.num_patterns, got.num_patterns, "node {node}");
+            assert_eq!(
+                want.error_rate.to_bits(),
+                got.error_rate.to_bits(),
+                "node {node}"
+            );
+            assert_eq!(want.nmed.map(f64::to_bits), got.nmed.map(f64::to_bits));
+            assert_eq!(want.mred.map(f64::to_bits), got.mred.map(f64::to_bits));
+            assert_eq!(want.max_error_distance, got.max_error_distance);
+
+            // Sparse rate-only path: identical error_rate bits via the
+            // precomputed base columns + dirty-word adjustment.
+            let (base_diff, base_lanes) = base_diff_columns(&exact_out, &exact_out, &masks);
+            let rate_only = compare_flipped_error_rate(
+                &exact_out,
+                &exact_out,
+                &inf,
+                &change,
+                &masks,
+                patterns.num_patterns(),
+                &base_diff,
+                base_lanes,
+            );
+            assert_eq!(
+                rate_only.error_rate.to_bits(),
+                want.error_rate.to_bits(),
+                "node {node}"
+            );
+            assert_eq!(rate_only.nmed, None, "node {node}");
+            assert_eq!(rate_only.max_error_distance, None, "node {node}");
+        }
+    }
+
+    #[test]
+    fn sparse_rate_compare_against_shifted_base() {
+        // Exercise compare_flipped_error_rate with a base that already
+        // disagrees with the exact outputs (mid-flow snapshot shape), so
+        // base_error_lanes is nonzero and the dirty-word adjustment has to
+        // subtract real counts.
+        let exact_aig = alsrac_circuits::arith::ripple_carry_adder(3);
+        let patterns = PatternBuffer::random(6, 200, 31);
+        let sim = Simulation::new(&exact_aig, &patterns);
+        let fanouts = exact_aig.fanout_map();
+        let exact_out = sim.output_words(&exact_aig);
+        let masks = patterns.word_masks();
+        // Perturb a copy of the outputs to act as the approximate base.
+        let mut base_rows: Vec<Vec<u64>> = (0..exact_out.num_outputs())
+            .map(|po| {
+                (0..sim.num_words())
+                    .map(|w| exact_out.word(po, w))
+                    .collect()
+            })
+            .collect();
+        base_rows[0][0] ^= 0b1011;
+        base_rows[2][1] ^= 0xF0;
+        let base = OutputWords::from_rows(&base_rows);
+        let (base_diff, base_lanes) = base_diff_columns(&exact_out, &base, &masks);
+        let mut rng = alsrac_rt::Rng::from_seed(47);
+        for node in exact_aig.iter_ands() {
+            let inf = FlipInfluence::compute(&exact_aig, &sim, &fanouts, node);
+            let change: Vec<u64> = (0..sim.num_words()).map(|_| rng.next_u64()).collect();
+            let want = compare_output_words(
+                &exact_out,
+                &inf.apply(&base, &change),
+                &masks,
+                patterns.num_patterns(),
+            );
+            let got = compare_flipped_error_rate(
+                &exact_out,
+                &base,
+                &inf,
+                &change,
+                &masks,
+                patterns.num_patterns(),
+                &base_diff,
+                base_lanes,
+            );
+            assert_eq!(
+                want.error_rate.to_bits(),
+                got.error_rate.to_bits(),
+                "node {node}"
+            );
+        }
+        // Empty change mask: nothing dirty, base counts pass through.
+        let node = exact_aig.iter_ands().next().expect("has ands");
+        let inf = FlipInfluence::compute(&exact_aig, &sim, &fanouts, node);
+        let zeros = vec![0u64; sim.num_words()];
+        let got = compare_flipped_error_rate(
+            &exact_out,
+            &base,
+            &inf,
+            &zeros,
+            &masks,
+            patterns.num_patterns(),
+            &base_diff,
+            base_lanes,
+        );
+        let want = compare_output_words(&exact_out, &base, &masks, patterns.num_patterns());
+        assert_eq!(want.error_rate.to_bits(), got.error_rate.to_bits());
+    }
+
+    #[test]
+    fn fused_compare_with_zero_patterns_is_empty() {
+        let exact_aig = alsrac_circuits::arith::ripple_carry_adder(2);
+        let patterns = PatternBuffer::exhaustive(4);
+        let sim = Simulation::new(&exact_aig, &patterns);
+        let fanouts = exact_aig.fanout_map();
+        let node = exact_aig.iter_ands().next().expect("has ands");
+        let inf = FlipInfluence::compute(&exact_aig, &sim, &fanouts, node);
+        let out = sim.output_words(&exact_aig);
+        let m = compare_flipped_output_words(&out, &out, &inf, &[0], &[0], 0);
+        assert_eq!(m.num_patterns, 0);
+        assert_eq!(m.error_rate, 0.0);
+        assert_eq!(m.nmed, Some(0.0));
     }
 
     #[test]

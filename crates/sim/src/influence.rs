@@ -18,11 +18,14 @@
 //! only visits nodes whose diff mask is still non-zero, so a flip that dies
 //! locally costs a handful of word ops instead of a full-TFO sweep, and the
 //! arena makes the hot loop allocation-free after warm-up (pinned by a
-//! counting-allocator test).
+//! counting-allocator test). The per-visit word loop goes through the
+//! batched [`crate::kernel`], and [`FlipInfluence::compute_fused`] discovers
+//! touched outputs *during* propagation via an [`OutputIndex`] instead of
+//! re-scanning every primary output per candidate.
 
 use alsrac_aig::{Aig, FanoutMap, Node, NodeId};
 
-use crate::{OutputWords, Simulation};
+use crate::{kernel, OutputWords, Simulation};
 
 /// Sentinel marking an empty frontier bucket / end of a bucket list.
 const EMPTY: u32 = u32::MAX;
@@ -132,6 +135,19 @@ impl InfluenceScratch {
         }
     }
 
+    /// The full flipped row of a dirty node (base row otherwise): the
+    /// slice form of [`node_word`](InfluenceScratch::node_word), resolving
+    /// the dirty branch once per node instead of once per word.
+    #[inline]
+    pub fn node_words<'a>(&'a self, sim: &'a Simulation, node: NodeId) -> &'a [u64] {
+        if self.is_dirty(node) {
+            let base = node.index() * self.num_words;
+            &self.flipped[base..base + self.num_words]
+        } else {
+            sim.node_words(node)
+        }
+    }
+
     /// Propagates a flip of `node` through its fanout, event-driven.
     ///
     /// After the call, [`is_dirty`](InfluenceScratch::is_dirty) and
@@ -148,21 +164,39 @@ impl InfluenceScratch {
         fanouts: &FanoutMap,
         node: NodeId,
     ) -> usize {
+        self.propagate_inner(aig, sim, fanouts, node, |_| {})
+    }
+
+    /// [`propagate`](InfluenceScratch::propagate) with a callback invoked
+    /// once per node that turns dirty (the root included), in propagation
+    /// order. This is what lets [`FlipInfluence::compute_fused`] discover
+    /// touched outputs during the walk instead of in a second pass.
+    fn propagate_inner(
+        &mut self,
+        aig: &Aig,
+        sim: &Simulation,
+        fanouts: &FanoutMap,
+        node: NodeId,
+        mut on_dirty: impl FnMut(NodeId),
+    ) -> usize {
         let num_words = sim.num_words();
         self.begin(aig.num_nodes(), num_words, fanouts.num_levels() as usize);
         let epoch = self.epoch;
 
         // Seed: the root differs from the base in every lane.
         let root_base = node.index() * num_words;
-        for w in 0..num_words {
-            self.flipped[root_base + w] = !sim.node_word(node, w);
-        }
+        kernel::not_into(
+            &mut self.flipped[root_base..root_base + num_words],
+            sim.node_words(node),
+        );
         self.dirty_epoch[node.index()] = epoch;
+        on_dirty(node);
         for &f in fanouts.fanouts(node) {
             self.enqueue(f, fanouts.level(f));
         }
 
         let mut visited = 1usize;
+        let mut quenched = 0u64;
         // Drain buckets by ascending level. The cursor never moves back:
         // every enqueue targets a level strictly above the node being
         // processed, so once a bucket empties it stays empty.
@@ -184,28 +218,90 @@ impl InfluenceScratch {
             let m0 = if f0.is_complement() { u64::MAX } else { 0 };
             let m1 = if f1.is_complement() { u64::MAX } else { 0 };
             let base = id.index() * num_words;
-            let mut diff = 0u64;
-            for w in 0..num_words {
-                let v0 = self.node_word(sim, f0.node(), w) ^ m0;
-                let v1 = self.node_word(sim, f1.node(), w) ^ m1;
-                let new = v0 & v1;
-                diff |= new ^ sim.node_word(id, w);
-                self.flipped[base + w] = new;
-            }
+            // Fanins sit strictly below `id` in the arena, so splitting at
+            // `base` separates the destination row from both source rows;
+            // resolving each fanin's dirty branch once per row (instead of
+            // once per word) hands whole rows to the batched kernel.
+            let f0_base = f0.node().index() * num_words;
+            let f1_base = f1.node().index() * num_words;
+            let (lo, hi) = self.flipped.split_at_mut(base);
+            let v0: &[u64] = if self.dirty_epoch[f0.node().index()] == epoch {
+                &lo[f0_base..f0_base + num_words]
+            } else {
+                sim.node_words(f0.node())
+            };
+            let v1: &[u64] = if self.dirty_epoch[f1.node().index()] == epoch {
+                &lo[f1_base..f1_base + num_words]
+            } else {
+                sim.node_words(f1.node())
+            };
+            let diff =
+                kernel::and_diff_into(&mut hi[..num_words], v0, v1, m0, m1, sim.node_words(id));
             if diff == 0 {
                 // The flip quenched here: downstream of this node nothing
                 // changes through this path, so its fanouts are not
                 // enqueued. When every frontier branch quenches the
                 // worklist drains and the propagation stops early.
+                quenched += 1;
                 continue;
             }
             self.dirty_epoch[id.index()] = epoch;
+            on_dirty(id);
             for &f in fanouts.fanouts(id) {
                 self.enqueue(f, fanouts.level(f));
             }
         }
         alsrac_rt::trace::add("influence_words_computed", (visited * num_words) as u64);
+        if quenched > 0 {
+            // Quench pruning fires *inside* live propagations far more
+            // often than whole flips die out (`influence_early_exits`),
+            // so count the visits it stops separately.
+            alsrac_rt::trace::add("influence_quenched_nodes", quenched);
+        }
         visited
+    }
+}
+
+/// Node → driven-primary-output index, CSR-packed.
+///
+/// Built once per estimation session, it gives the fused influence pass an
+/// O(1) answer to "does this node drive an output, and which?" as nodes
+/// turn dirty — replacing the per-candidate scan over *all* primary
+/// outputs that [`FlipInfluence::compute_with`] performs after propagation.
+#[derive(Clone, Debug)]
+pub struct OutputIndex {
+    /// CSR row offsets: node `i` drives `pos[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Output indices, ascending within each node's row.
+    pos: Vec<u32>,
+}
+
+impl OutputIndex {
+    /// Indexes the output drivers of `aig`.
+    pub fn new(aig: &Aig) -> OutputIndex {
+        let num_nodes = aig.num_nodes();
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for output in aig.outputs() {
+            offsets[output.lit.node().index() + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut pos = vec![0u32; aig.num_outputs()];
+        for (po, output) in aig.outputs().iter().enumerate() {
+            let idx = output.lit.node().index();
+            pos[cursor[idx] as usize] = po as u32;
+            cursor[idx] += 1;
+        }
+        OutputIndex { offsets, pos }
+    }
+
+    /// Primary outputs driven by `node`, ascending (usually empty).
+    #[inline]
+    pub fn pos_of(&self, node: NodeId) -> &[u32] {
+        let idx = node.index();
+        &self.pos[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
     }
 }
 
@@ -289,6 +385,57 @@ impl FlipInfluence {
             num_words,
             num_outputs: aig.num_outputs(),
             touched,
+            rows,
+            zeros: vec![0u64; num_words],
+            any,
+        }
+    }
+
+    /// Computes the influence masks of `node` with touched outputs
+    /// discovered *during* propagation: every node that turns dirty is
+    /// checked against the [`OutputIndex`] in O(1), so the post-propagation
+    /// scan over all primary outputs that
+    /// [`compute_with`](FlipInfluence::compute_with) performs disappears.
+    /// Masks are bit-identical to `compute_with` — same touched set (an
+    /// output is touched iff its driver ended the walk dirty), same
+    /// ascending row order, same row words (pinned by property tests).
+    pub fn compute_fused(
+        aig: &Aig,
+        sim: &Simulation,
+        fanouts: &FanoutMap,
+        outputs: &OutputIndex,
+        node: NodeId,
+        scratch: &mut InfluenceScratch,
+    ) -> FlipInfluence {
+        let num_words = sim.num_words();
+        let mut dirty_pos: Vec<u32> = Vec::new();
+        scratch.propagate_inner(aig, sim, fanouts, node, |id| {
+            dirty_pos.extend_from_slice(outputs.pos_of(id));
+        });
+        // Discovery happens in propagation order; rows are stored ascending
+        // by output index, so restore that contract here. Each output has
+        // exactly one driver node, so no dedup is needed.
+        dirty_pos.sort_unstable();
+        let mut rows = vec![0u64; dirty_pos.len() * num_words];
+        let mut any = vec![0u64; num_words];
+        for (slot, &po) in dirty_pos.iter().enumerate() {
+            let o_node = aig.outputs()[po as usize].lit.node();
+            let row = &mut rows[slot * num_words..(slot + 1) * num_words];
+            // Complement on the output edge cancels in the XOR.
+            kernel::xor_into(row, scratch.node_words(sim, o_node), sim.node_words(o_node));
+            for (any_w, &r) in any.iter_mut().zip(row.iter()) {
+                *any_w |= r;
+            }
+        }
+        if any.iter().all(|&w| w == 0) {
+            // The flip died before reaching any primary output.
+            alsrac_rt::trace::add("influence_early_exits", 1);
+        }
+        FlipInfluence {
+            node,
+            num_words,
+            num_outputs: aig.num_outputs(),
+            touched: dirty_pos,
             rows,
             zeros: vec![0u64; num_words],
             any,
@@ -395,6 +542,23 @@ impl FlipInfluence {
     /// Number of outputs the flip actually reached (stored rows).
     pub fn num_touched_outputs(&self) -> usize {
         self.touched.len()
+    }
+
+    /// Output indices with a stored row, ascending (parallel to row slots).
+    ///
+    /// Together with [`row`](FlipInfluence::row) this exposes the sparse
+    /// layout directly, so fused consumers can merge against it with one
+    /// rising cursor instead of a binary search per output.
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Stored influence row at `slot` (see
+    /// [`touched`](FlipInfluence::touched) for which output that is).
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[u64] {
+        &self.rows[slot * self.num_words..(slot + 1) * self.num_words]
     }
 
     /// Computes candidate output words after replacing the node's function.
@@ -522,6 +686,41 @@ mod tests {
                 assert_eq!(fast.any_mask()[w] & mask, full.any_mask()[w] & mask);
             }
         }
+    }
+
+    #[test]
+    fn fused_matches_separate_pass_for_all_nodes() {
+        let aig = sample();
+        let patterns = PatternBuffer::exhaustive(4);
+        let sim = Simulation::new(&aig, &patterns);
+        let fanouts = aig.fanout_map();
+        let outputs = OutputIndex::new(&aig);
+        let mut scratch = InfluenceScratch::new();
+        for id in aig.iter_nodes().skip(1) {
+            let fused =
+                FlipInfluence::compute_fused(&aig, &sim, &fanouts, &outputs, id, &mut scratch);
+            let separate = FlipInfluence::compute_with(&aig, &sim, &fanouts, id, &mut scratch);
+            assert_eq!(fused.touched(), separate.touched(), "node {id}");
+            for slot in 0..fused.touched().len() {
+                assert_eq!(fused.row(slot), separate.row(slot), "node {id} slot {slot}");
+            }
+            assert_eq!(fused.any_mask(), separate.any_mask(), "node {id}");
+        }
+    }
+
+    #[test]
+    fn output_index_lists_drivers_ascending() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        aig.add_output("y0", x);
+        aig.add_output("y1", a);
+        aig.add_output("y2", !x);
+        let outputs = OutputIndex::new(&aig);
+        assert_eq!(outputs.pos_of(x.node()), &[0, 2]);
+        assert_eq!(outputs.pos_of(a.node()), &[1]);
+        assert_eq!(outputs.pos_of(b.node()), &[] as &[u32]);
     }
 
     #[test]

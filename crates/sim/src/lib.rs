@@ -20,7 +20,11 @@
 //!   is untouched are carried over instead of re-evaluated;
 //! * [`Signatures`] — complement-canonical equivalence classes over node
 //!   signatures, turning pairwise simulation-equality checks into O(1)
-//!   class-id comparisons for windowed divisor filtering.
+//!   class-id comparisons for windowed divisor filtering;
+//! * [`kernel`] — the wide-word batched primitives every hot loop above is
+//!   built on: fixed-size [`kernel::BATCH_WORDS`]-word inner loops the
+//!   autovectorizer turns into SIMD, bit-identical to the scalar
+//!   recurrences at any row length.
 //!
 //! # Example
 //!
@@ -45,12 +49,13 @@
 
 mod delta;
 mod influence;
+pub mod kernel;
 mod patterns;
 mod signatures;
 mod simulation;
 
 pub use delta::{SimDelta, SimSource};
-pub use influence::{FlipInfluence, InfluenceScratch};
+pub use influence::{FlipInfluence, InfluenceScratch, OutputIndex};
 pub use patterns::PatternBuffer;
 pub use signatures::Signatures;
 pub use simulation::{OutputWords, Simulation};

@@ -13,8 +13,11 @@ use alsrac_rt::Rng;
 pub struct PatternBuffer {
     num_inputs: usize,
     num_patterns: usize,
-    /// `words[input][word]`.
-    words: Vec<Vec<u64>>,
+    num_words: usize,
+    /// Flat `inputs × words` arena, `words[input * num_words + w]` — one
+    /// allocation, so per-input rows are contiguous and consecutive inputs
+    /// stream through cache during the simulation sweep.
+    words: Vec<u64>,
 }
 
 impl PatternBuffer {
@@ -22,27 +25,28 @@ impl PatternBuffer {
     ///
     /// The same `(num_inputs, num_patterns, seed)` triple always produces
     /// the same buffer, making every flow in this workspace reproducible.
+    /// (RNG words are drawn input-major, word-minor — the arena's layout
+    /// order — which is the draw order the pre-SoA nested layout used, so
+    /// seeds reproduce historical buffers bit-for-bit.)
     pub fn random(num_inputs: usize, num_patterns: usize, seed: u64) -> PatternBuffer {
         let mut rng = Rng::from_seed(seed);
         let num_words = num_patterns.div_ceil(64).max(1);
         let tail = Self::tail_mask_for(num_patterns);
-        let words = (0..num_inputs)
-            .map(|_| {
-                (0..num_words)
-                    .map(|w| {
-                        let bits = rng.next_u64();
-                        if w + 1 == num_words {
-                            bits & tail
-                        } else {
-                            bits
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut words = Vec::with_capacity(num_inputs * num_words);
+        for _ in 0..num_inputs {
+            for w in 0..num_words {
+                let bits = rng.next_u64();
+                words.push(if w + 1 == num_words {
+                    bits & tail
+                } else {
+                    bits
+                });
+            }
+        }
         PatternBuffer {
             num_inputs,
             num_patterns,
+            num_words,
             words,
         }
     }
@@ -70,21 +74,19 @@ impl PatternBuffer {
         );
         let mut rng = Rng::from_seed(seed);
         let num_words = num_patterns.div_ceil(64).max(1);
-        let words = bias
-            .iter()
-            .map(|&p| {
-                let mut input_words = vec![0u64; num_words];
-                for pattern in 0..num_patterns {
-                    if rng.gen_bool(p) {
-                        input_words[pattern / 64] |= 1 << (pattern % 64);
-                    }
+        let mut words = vec![0u64; num_inputs * num_words];
+        for (i, &p) in bias.iter().enumerate() {
+            let row = &mut words[i * num_words..(i + 1) * num_words];
+            for pattern in 0..num_patterns {
+                if rng.gen_bool(p) {
+                    row[pattern / 64] |= 1 << (pattern % 64);
                 }
-                input_words
-            })
-            .collect();
+            }
+        }
         PatternBuffer {
             num_inputs,
             num_patterns,
+            num_words,
             words,
         }
     }
@@ -99,33 +101,32 @@ impl PatternBuffer {
         assert!(num_inputs <= 24, "exhaustive patterns limited to 24 inputs");
         let num_patterns = 1usize << num_inputs;
         let num_words = num_patterns.div_ceil(64).max(1);
-        let words = (0..num_inputs)
-            .map(|i| {
-                (0..num_words)
-                    .map(|w| {
-                        if i < 6 {
-                            // Repeating sub-word pattern for low variables.
-                            const MASKS: [u64; 6] = [
-                                0xAAAA_AAAA_AAAA_AAAA,
-                                0xCCCC_CCCC_CCCC_CCCC,
-                                0xF0F0_F0F0_F0F0_F0F0,
-                                0xFF00_FF00_FF00_FF00,
-                                0xFFFF_0000_FFFF_0000,
-                                0xFFFF_FFFF_0000_0000,
-                            ];
-                            MASKS[i] & Self::tail_mask_for(num_patterns)
-                        } else if w >> (i - 6) & 1 == 1 {
-                            u64::MAX
-                        } else {
-                            0
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        // Repeating sub-word patterns for the six lowest variables.
+        const MASKS: [u64; 6] = [
+            0xAAAA_AAAA_AAAA_AAAA,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+            0xFFFF_FFFF_0000_0000,
+        ];
+        let mut words = Vec::with_capacity(num_inputs * num_words);
+        for i in 0..num_inputs {
+            let low_mask = MASKS.get(i).map(|m| m & Self::tail_mask_for(num_patterns));
+            for w in 0..num_words {
+                words.push(if let Some(mask) = low_mask {
+                    mask
+                } else if w >> (i - 6) & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                });
+            }
+        }
         PatternBuffer {
             num_inputs,
             num_patterns,
+            num_words,
             words,
         }
     }
@@ -138,18 +139,19 @@ impl PatternBuffer {
     pub fn from_rows(num_inputs: usize, rows: &[Vec<bool>]) -> PatternBuffer {
         let num_patterns = rows.len();
         let num_words = num_patterns.div_ceil(64).max(1);
-        let mut words = vec![vec![0u64; num_words]; num_inputs];
+        let mut words = vec![0u64; num_inputs * num_words];
         for (p, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), num_inputs, "row {p} has wrong arity");
             for (i, &bit) in row.iter().enumerate() {
                 if bit {
-                    words[i][p / 64] |= 1 << (p % 64);
+                    words[i * num_words + p / 64] |= 1 << (p % 64);
                 }
             }
         }
         PatternBuffer {
             num_inputs,
             num_patterns,
+            num_words,
             words,
         }
     }
@@ -166,19 +168,18 @@ impl PatternBuffer {
 
     /// Number of 64-bit words per input.
     pub fn num_words(&self) -> usize {
-        self.words
-            .first()
-            .map_or(self.num_patterns.div_ceil(64).max(1), Vec::len)
+        self.num_words
     }
 
     /// The packed words of input `i`.
+    #[inline]
     pub fn input_words(&self, i: usize) -> &[u64] {
-        &self.words[i]
+        &self.words[i * self.num_words..(i + 1) * self.num_words]
     }
 
     /// Returns the value of input `i` under pattern `p`.
     pub fn get(&self, i: usize, p: usize) -> bool {
-        self.words[i][p / 64] >> (p % 64) & 1 != 0
+        self.words[i * self.num_words + p / 64] >> (p % 64) & 1 != 0
     }
 
     fn tail_mask_for(num_patterns: usize) -> u64 {

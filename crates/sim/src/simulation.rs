@@ -3,7 +3,7 @@
 
 use alsrac_aig::{Aig, Lit, Node, NodeId};
 
-use crate::{PatternBuffer, SimDelta, SimSource};
+use crate::{kernel, PatternBuffer, SimDelta, SimSource};
 
 /// The simulated values of every node of an [`Aig`] under a
 /// [`PatternBuffer`].
@@ -120,9 +120,17 @@ impl Simulation {
                     let m1 = if f1.is_complement() { u64::MAX } else { 0 };
                     let b0 = f0.node().index() * num_words;
                     let b1 = f1.node().index() * num_words;
-                    for w in 0..num_words {
-                        values[base + w] = (values[b0 + w] ^ m0) & (values[b1 + w] ^ m1);
-                    }
+                    // Fanin indices are strictly below the node index
+                    // (topological construction), so splitting the arena at
+                    // `base` yields disjoint source/destination rows.
+                    let (lo, hi) = values.split_at_mut(base);
+                    kernel::and_into(
+                        &mut hi[..num_words],
+                        &lo[b0..b0 + num_words],
+                        &lo[b1..b1 + num_words],
+                        m0,
+                        m1,
+                    );
                 }
             }
         }
@@ -169,9 +177,10 @@ impl Simulation {
                 SimSource::Copy { old, complement } => {
                     let src = old.index() * num_words;
                     if complement {
-                        for w in 0..num_words {
-                            values[base + w] = !self.values[src + w];
-                        }
+                        kernel::not_into(
+                            &mut values[base..base + num_words],
+                            &self.values[src..src + num_words],
+                        );
                     } else {
                         values[base..base + num_words]
                             .copy_from_slice(&self.values[src..src + num_words]);
@@ -190,9 +199,14 @@ impl Simulation {
                             let m1 = if f1.is_complement() { u64::MAX } else { 0 };
                             let b0 = f0.node().index() * num_words;
                             let b1 = f1.node().index() * num_words;
-                            for w in 0..num_words {
-                                values[base + w] = (values[b0 + w] ^ m0) & (values[b1 + w] ^ m1);
-                            }
+                            let (lo, hi) = values.split_at_mut(base);
+                            kernel::and_into(
+                                &mut hi[..num_words],
+                                &lo[b0..b0 + num_words],
+                                &lo[b1..b1 + num_words],
+                                m0,
+                                m1,
+                            );
                         }
                     }
                 }
@@ -267,9 +281,7 @@ impl Simulation {
             let base = lit.node().index() * self.num_words;
             let row = out.po_mut(po);
             if lit.is_complement() {
-                for (w, slot) in row.iter_mut().enumerate() {
-                    *slot = !self.values[base + w];
-                }
+                kernel::not_into(row, &self.values[base..base + self.num_words]);
             } else {
                 row.copy_from_slice(&self.values[base..base + self.num_words]);
             }

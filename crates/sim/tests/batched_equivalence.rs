@@ -1,0 +1,180 @@
+//! Property suite for the wide-word batched kernel path.
+//!
+//! The batched kernel (`alsrac_sim::kernel`, [`kernel::BATCH_WORDS`] words
+//! per inner-loop step) and the fused influence pass promise *bit identity*
+//! with the scalar recurrences they replace — the flow's determinism
+//! contract rests on it. This suite pins that promise on real circuit
+//! generators across ragged word counts:
+//!
+//! 1. **Batched simulation ≡ scalar reference.** Every node's packed words
+//!    equal a per-pattern boolean re-evaluation of the graph, at pattern
+//!    counts that exercise every remainder class of the batch width
+//!    (`num_words % BATCH_WORDS` ∈ {0, 1, 2, 3}) and a partial final word.
+//! 2. **Fused ≡ separate ≡ full-cone influence.** `compute_fused`
+//!    (touched outputs discovered during propagation) stores the same
+//!    touched set, rows, and any-mask as `compute_with` (post-propagation
+//!    output scan) and `compute_full` (whole-TFO resimulation).
+//! 3. **Both hold across random LAC applies.** After random node
+//!    substitutions — the structural edits the flow performs — incremental
+//!    update, fresh batched simulation, the scalar reference, and all three
+//!    influence engines still agree on the rebuilt graph.
+
+use std::collections::HashMap;
+
+use alsrac_aig::{Aig, Lit, Node, NodeId};
+use alsrac_circuits::arith;
+use alsrac_rt::Rng;
+use alsrac_sim::{kernel, FlipInfluence, InfluenceScratch, OutputIndex, PatternBuffer, Simulation};
+
+/// Pattern counts covering one partial word, exact single words, and word
+/// counts in every remainder class modulo [`kernel::BATCH_WORDS`] (so both
+/// the batched inner loops and their scalar tails run).
+fn ragged_pattern_counts() -> Vec<usize> {
+    assert_eq!(
+        kernel::BATCH_WORDS,
+        4,
+        "counts below assume a width-4 batch"
+    );
+    vec![1, 63, 64, 65, 130, 192, 256, 300]
+}
+
+/// Scalar reference: evaluates every node on every pattern with plain
+/// bools, then packs the results. No word-level ops — this is the
+/// specification the batched sweep must reproduce bit-for-bit.
+fn reference_node_words(aig: &Aig, patterns: &PatternBuffer) -> Vec<Vec<u64>> {
+    let num_words = patterns.num_words();
+    let mut words = vec![vec![0u64; num_words]; aig.num_nodes()];
+    for p in 0..patterns.num_patterns() {
+        let mut values = vec![false; aig.num_nodes()];
+        for id in aig.iter_nodes() {
+            let v = match *aig.node(id) {
+                Node::Const => false,
+                Node::Input { index } => patterns.get(index as usize, p),
+                Node::And { f0, f1 } => {
+                    (values[f0.node().index()] ^ f0.is_complement())
+                        && (values[f1.node().index()] ^ f1.is_complement())
+                }
+            };
+            values[id.index()] = v;
+            if v {
+                words[id.index()][p / 64] |= 1 << (p % 64);
+            }
+        }
+    }
+    words
+}
+
+fn assert_simulation_matches_reference(aig: &Aig, patterns: &PatternBuffer, what: &str) {
+    let sim = Simulation::new(aig, patterns);
+    let want = reference_node_words(aig, patterns);
+    for id in aig.iter_nodes() {
+        for (w, &want_w) in want[id.index()].iter().enumerate() {
+            let mask = patterns.word_mask(w);
+            assert_eq!(
+                sim.node_word(id, w) & mask,
+                want_w & mask,
+                "{what}: node {id}, word {w}"
+            );
+        }
+    }
+}
+
+fn assert_influence_engines_agree(aig: &Aig, patterns: &PatternBuffer, what: &str) {
+    let sim = Simulation::new(aig, patterns);
+    let fanouts = aig.fanout_map();
+    let outputs = OutputIndex::new(aig);
+    let mut scratch = InfluenceScratch::new();
+    for id in aig.iter_nodes().skip(1) {
+        let fused = FlipInfluence::compute_fused(aig, &sim, &fanouts, &outputs, id, &mut scratch);
+        let separate = FlipInfluence::compute_with(aig, &sim, &fanouts, id, &mut scratch);
+        let full = FlipInfluence::compute_full(aig, &sim, &fanouts, id);
+        // Fused vs separate: identical sparse layout, word for word (both
+        // describe the dirty set of the same event-driven propagation).
+        assert_eq!(fused.touched(), separate.touched(), "{what}: node {id}");
+        for slot in 0..fused.touched().len() {
+            assert_eq!(
+                fused.row(slot),
+                separate.row(slot),
+                "{what}: node {id}, slot {slot}"
+            );
+        }
+        assert_eq!(fused.any_mask(), separate.any_mask(), "{what}: node {id}");
+        // Vs the full-cone baseline: same masks on the valid lanes (the
+        // baseline touches every cone-reaching output even when the diff is
+        // all-zero, so compare dense masks, not the sparse layout).
+        for po in 0..aig.num_outputs() {
+            for w in 0..sim.num_words() {
+                let mask = patterns.word_mask(w);
+                assert_eq!(
+                    fused.po_mask(po)[w] & mask,
+                    full.po_mask(po)[w] & mask,
+                    "{what}: node {id}, po {po}, word {w}"
+                );
+            }
+        }
+    }
+}
+
+fn circuits() -> Vec<(&'static str, Aig)> {
+    vec![
+        ("rca4", arith::ripple_carry_adder(4)),
+        ("ksa4", arith::kogge_stone_adder(4)),
+        ("mtp3", arith::array_multiplier(3)),
+    ]
+}
+
+#[test]
+fn batched_simulation_matches_scalar_reference_on_ragged_pattern_counts() {
+    for (name, aig) in circuits() {
+        for (seed, num_patterns) in ragged_pattern_counts().into_iter().enumerate() {
+            let patterns = PatternBuffer::random(aig.num_inputs(), num_patterns, seed as u64 + 1);
+            let what = format!("{name} @ {num_patterns} patterns");
+            assert_simulation_matches_reference(&aig, &patterns, &what);
+        }
+    }
+}
+
+#[test]
+fn fused_separate_and_full_influence_agree_on_real_circuits() {
+    for (name, aig) in circuits() {
+        for num_patterns in [65, 256, 300] {
+            let patterns = PatternBuffer::random(aig.num_inputs(), num_patterns, 7);
+            let what = format!("{name} @ {num_patterns} patterns");
+            assert_influence_engines_agree(&aig, &patterns, &what);
+        }
+    }
+}
+
+#[test]
+fn equivalences_hold_across_random_lac_applies() {
+    let mut aig = arith::ripple_carry_adder(4);
+    let patterns_of = |aig: &Aig, round: u64| {
+        // 130 patterns: two full words plus a partial third, so each round
+        // exercises both a batch tail and a masked final word.
+        PatternBuffer::random(aig.num_inputs(), 130, 100 + round)
+    };
+    let mut rng = Rng::from_seed(41);
+    for round in 0..6u64 {
+        // A random constant-substitution LAC: replace one AND node with a
+        // constant, as the flow's simplest candidate shape does, and
+        // rebuild. (Substituting by a constant can never create a cycle.)
+        let ands: Vec<NodeId> = aig.iter_ands().collect();
+        if ands.is_empty() {
+            break;
+        }
+        let victim = ands[rng.next_u64() as usize % ands.len()];
+        let replacement = if rng.next_u64() & 1 == 0 {
+            Lit::FALSE
+        } else {
+            Lit::TRUE
+        };
+        aig = aig
+            .rebuilt_with_substitutions(&HashMap::from([(victim, replacement)]))
+            .expect("constant substitution cannot introduce a cycle");
+
+        let patterns = patterns_of(&aig, round);
+        let what = format!("round {round}");
+        assert_simulation_matches_reference(&aig, &patterns, &what);
+        assert_influence_engines_agree(&aig, &patterns, &what);
+    }
+}

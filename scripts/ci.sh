@@ -24,8 +24,11 @@
 #   bench-smoke
 #           incremental-engine gate: `bench_sim --smoke` runs the flow on
 #           a small circuit under both simulation engines and asserts the
-#           results bit-identical, `sim_words_saved > 0`, and strictly
-#           fewer node-words than the full-sweep baseline
+#           results bit-identical, `sim_words_saved > 0`, strictly fewer
+#           node-words than the full-sweep baseline, and per-circuit
+#           engine-attributed `speedup >= 1.0`; the run's ALSRAC_TRACE
+#           output (including the influence_quenched_nodes counter) must
+#           validate under `report`
 #   window-smoke
 #           windowed-resubstitution gate: `bench_window --smoke` runs the
 #           flow on every bundled Test-scale circuit with windowing on and
@@ -56,8 +59,10 @@
 #           daemon, and cancelling an in-flight job yields an interrupted
 #           record whose checkpoint `flow::resume` completes from; then a
 #           scripted transcript is piped through the real `alsrac-cli
-#           --serve` binary and the captured session — responses plus
-#           job-tagged flow records — must be a schema-valid trace.
+#           --serve` binary — including a repeated identical submit that
+#           must come back `cache_hit` from the result cache — and the
+#           captured session (responses plus job-tagged flow records)
+#           must be a schema-valid trace.
 #           `report --serve` validates both fresh artifacts and the
 #           committed BENCH_serve.json
 set -euo pipefail
@@ -165,16 +170,30 @@ run_smoke() {
 run_bench_smoke() {
     ensure_release_build
 
-    echo "==> incremental simulation gate (bit-exact + words saved)"
+    echo "==> incremental simulation gate (bit-exact + words saved + speedup)"
     bench_json="$(tmpfile alsrac_bench_sim_XXXXXX.json)"
+    bench_trace="$(tmpfile alsrac_bench_sim_XXXXXX.jsonl)"
     # bench_sim asserts: flow output bit-identical between the full-sweep
-    # and incremental engines, sim_words_saved > 0, and strictly fewer
-    # node-words simulated incrementally.
-    target/release/bench_sim --smoke "$bench_json"
+    # and incremental engines (repeated at 1/3/7 workers by the test
+    # suite), sim_words_saved > 0, strictly fewer node-words simulated
+    # incrementally, and engine-attributed wall speedup >= 1.0 after
+    # bounded remeasurement.
+    ALSRAC_TRACE="$bench_trace" target/release/bench_sim --smoke "$bench_json"
     grep -q '"sim_words_saved": \?0[,}]' "$bench_json" && {
         echo "bench-smoke: sim_words_saved is zero" >&2
         exit 1
     }
+    # Belt and braces on top of the binary's own assert: a per-circuit
+    # "speedup" below 1.0 serializes as "0.xxx" ("flow_speedup" is
+    # informational and deliberately not matched).
+    grep -q '"speedup": \?0\.' "$bench_json" && {
+        echo "bench-smoke: an engine speedup fell below 1.0" >&2
+        exit 1
+    }
+    # The run's trace — flow records from both engines plus the totals
+    # records carrying sim_node_words/influence_words/sim_words_saved/
+    # influence_quenched_nodes — must be schema-valid counters included.
+    target/release/report "$bench_trace" >/dev/null
     echo "bench-smoke gate passed."
 }
 
@@ -255,8 +274,9 @@ run_serve_smoke() {
         '{"op":"submit","circuit":"cla32","metric":"er","threshold":0.05,"seed":1,"max_iterations":5,"measure_rounds":2000}' \
         'this is not a request' \
         '{"op":"status"}' \
+        '{"op":"submit","circuit":"cla32","metric":"er","threshold":0.05,"seed":1,"max_iterations":5,"measure_rounds":2000}' \
         '{"op":"shutdown","mode":"drain"}' \
-        | target/release/alsrac-cli --serve --workers 2 2>/dev/null >"$session"
+        | target/release/alsrac-cli --serve --workers 1 2>/dev/null >"$session"
     check() {
         grep -q "$1" "$session" || {
             echo "serve-smoke: captured session lacks $2" >&2
@@ -267,6 +287,9 @@ run_serve_smoke() {
     check '"type":"run_end".*"job_id":1' "the job-tagged run_end"
     check '"type":"error","line":2,' "the line-numbered parse error"
     check '"type":"job_done","job_id":1,"outcome":"completed"' "the terminal job record"
+    # The second, identical submit must be served from the result cache:
+    # its terminal record carries cache_hit and the session totals count it.
+    check '"type":"job_done","job_id":2,.*"cache_hit":true' "the cache-served job record"
     check '"type":"shutdown","reason":"shutdown_request"' "the final shutdown record"
     # The captured session — responses interleaved with job-tagged flow
     # records — must itself be a schema-valid trace file.
